@@ -1,0 +1,184 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Regeneration — every table and figure of the paper is regenerated
+      at bench scale (shortened beaconing horizon, Tiny topology) and
+      printed in the paper's layout: Table 1, Figure 5, Figures 6a/6b,
+      Figures 7/8/9 (Appendix B).
+
+   2. Bechamel micro-benchmarks — one Test.make per artefact covering
+      its computational kernel, plus the crypto and data-structure
+      primitives everything rests on, and the ablation comparing the
+      baseline and diversity selection rounds.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let line title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* --- Part 1: regenerate every table and figure -------------------- *)
+
+let bench_beacon =
+  {
+    Beaconing.default_config with
+    Beaconing.duration = 600.0 *. 12.0 (* 2 h horizon keeps bench time sane *);
+  }
+
+let regenerate () =
+  line "Table 1 — path management overhead comparison";
+  Table1.print ~measured:(Table1.measure Exp_common.Tiny) ();
+  line "Figure 5 — control-plane overhead relative to BGP (bench scale)";
+  Fig5.print (Fig5.run ~beacon:bench_beacon Exp_common.Tiny);
+  line "Figure 6 — path quality (bench scale)";
+  Fig6.print (Fig6.run ~beacon:bench_beacon ~storage_limits:[ 15; 60 ] Exp_common.Tiny);
+  line "Figures 7/8/9 — SCIONLab testbed (Appendix B)";
+  Scionlab_exp.print (Scionlab_exp.run ())
+
+(* --- Part 2: micro-benchmarks -------------------------------------- *)
+
+let small_core =
+  lazy
+    (let full = Caida_like.generate { Caida_like.small_params with Caida_like.n = 240 } in
+     let core, _ = Caida_like.core_subset full ~k:24 in
+     core)
+
+let scionlab = lazy (Scionlab.generate Scionlab.default_params)
+
+let one_kib = String.make 1024 'x'
+
+let keys = lazy (Fwd_keys.create ())
+
+let sample_pcb =
+  lazy
+    (let p = Pcb.origin_pcb ~origin:0 ~now:0.0 ~lifetime:21600.0 in
+     Pcb.extend p ~asn:0 ~ingress:0 ~egress:1 ~link:3 ~peers:[||])
+
+let beaconing_run g algorithm rounds =
+  let cfg =
+    {
+      Beaconing.default_config with
+      Beaconing.algorithm;
+      Beaconing.duration = 600.0 *. float_of_int rounds;
+    }
+  in
+  Beaconing.run g cfg
+
+let tests =
+  [
+    (* Substrate primitives. *)
+    Test.make ~name:"crypto/sha256-1KiB" (Staged.stage (fun () -> Sha256.digest one_kib));
+    Test.make ~name:"crypto/hop-field-mac"
+      (Staged.stage (fun () ->
+           Segment.hop_mac (Lazy.force keys) ~as_idx:7 ~if1:2 ~if2:5 ~expiry:21600.0));
+    Test.make ~name:"core/pcb-extend"
+      (Staged.stage (fun () ->
+           Pcb.extend (Lazy.force sample_pcb) ~asn:1 ~ingress:2 ~egress:3 ~link:9
+             ~peers:[||]));
+    Test.make ~name:"core/beacon-store-insert"
+      (Staged.stage (fun () ->
+           let s = Beacon_store.create ~limit:60 in
+           ignore (Beacon_store.insert s ~now:0.0 (Lazy.force sample_pcb))));
+    Test.make ~name:"core/diversity-score"
+      (Staged.stage
+         (let st = Diversity_state.create ~n_as:64 in
+          Diversity_state.increment st ~origin:1 ~neighbor:2 ~links:[| 1; 2; 3 |] ~extra:4;
+          let p = Beacon_policy.default_div_params in
+          fun () ->
+            let gm =
+              Diversity_state.counters_gm st ~origin:1 ~neighbor:2 ~links:[| 1; 2; 3 |]
+                ~extra:4
+            in
+            Beacon_policy.score_fresh p
+              ~ds:(Beacon_policy.diversity_of_gm p gm)
+              ~age:600.0 ~lifetime:21600.0));
+    (* Table 1: the taxonomy itself is cheap; bench the grounding
+       component, a path-server lookup round. *)
+    Test.make ~name:"table1/path-server-lookup"
+      (Staged.stage
+         (let ps = Path_server.create () in
+          fun () -> Path_server.lookup_down ps ~now:1.0 ~leaf:42));
+    (* Figure 5 kernels: one BGP routing table; one baseline beaconing
+       round and one diversity round on the same small core (the
+       ablation the overhead comparison rests on). *)
+    Test.make ~name:"fig5/bgp-routing-table"
+      (Staged.stage (fun () -> Bgp_routes.compute (Lazy.force small_core) ~dst:0));
+    Test.make ~name:"fig5/beaconing-baseline-3rounds"
+      (Staged.stage (fun () ->
+           beaconing_run (Lazy.force small_core) Beacon_policy.Baseline 3));
+    Test.make ~name:"fig5/beaconing-diversity-3rounds"
+      (Staged.stage (fun () ->
+           beaconing_run (Lazy.force small_core)
+             (Beacon_policy.Diversity Beacon_policy.default_div_params)
+             3));
+    (* Figure 6 kernel: a max-flow path-quality query. *)
+    Test.make ~name:"fig6/maxflow-optimum"
+      (Staged.stage (fun () ->
+           Path_quality.optimum (Lazy.force small_core) ~src:0 ~dst:7));
+    (* Figures 7-9 kernel: a full SCIONLab beaconing horizon. *)
+    Test.make ~name:"fig7-9/scionlab-baseline-12rounds"
+      (Staged.stage (fun () ->
+           beaconing_run (Lazy.force scionlab) Beacon_policy.Baseline 12));
+    (* Ablations: the design choices called out in DESIGN.md. *)
+    Test.make ~name:"ablation/diversity-arith-mean-3rounds"
+      (Staged.stage (fun () ->
+           beaconing_run (Lazy.force small_core)
+             (Beacon_policy.Diversity
+                { Beacon_policy.default_div_params with
+                  Beacon_policy.mean_kind = Beacon_policy.Arithmetic })
+             3));
+    Test.make ~name:"ablation/gm-link-counters"
+      (Staged.stage
+         (let st = Diversity_state.create ~n_as:64 in
+          Diversity_state.increment st ~origin:1 ~neighbor:2 ~links:[| 1; 2; 3; 4; 5 |]
+            ~extra:6;
+          fun () ->
+            Diversity_state.counters_gm st ~origin:1 ~neighbor:2
+              ~links:[| 1; 2; 3; 4; 5 |] ~extra:6));
+  ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"scion" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> est
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  line "Micro-benchmarks (monotonic clock, OLS estimate per run)";
+  Table.print
+    ~header:[ "benchmark"; "time/run" ]
+    ~rows:
+      (List.map
+         (fun (name, ns) ->
+           let pretty =
+             if Float.is_nan ns then "n/a"
+             else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+             else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+             else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+             else Printf.sprintf "%.0f ns" ns
+           in
+           [ name; pretty ])
+         rows)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  regenerate ();
+  run_benchmarks ();
+  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

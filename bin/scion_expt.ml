@@ -1,0 +1,206 @@
+(* Experiment driver: one subcommand per paper artefact.
+
+   scion_expt table1 [--scale S] [--measure]
+   scion_expt fig5   [--scale S]
+   scion_expt fig6   [--scale S]
+   scion_expt scionlab
+   scion_expt tune   [--cores N] [--verbose]
+   scion_expt topo   [--scale S]
+   scion_expt all    [--scale S] *)
+
+open Cmdliner
+
+let scale_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Exp_common.scale_of_string s) in
+  let print fmt s = Format.pp_print_string fmt (Exp_common.scale_to_string s) in
+  Arg.conv (parse, print)
+
+let scale_term =
+  Arg.(
+    value
+    & opt scale_arg Exp_common.Tiny
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Experiment scale: tiny, small, medium or paper (\\u00a75.1 sizes).")
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "\n[%s finished in %.1f s]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+let table1_cmd =
+  let measure =
+    Arg.(value & flag & info [ "measure" ] ~doc:"Also run the grounding simulation.")
+  in
+  let run scale measure =
+    timed "table1" (fun () ->
+        if measure then Table1.print ~measured:(Table1.measure scale) ()
+        else Table1.print ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Table 1: control-plane overhead taxonomy")
+    Term.(const run $ scale_term $ measure)
+
+let fig5_cmd =
+  let run scale = timed "fig5" (fun () -> Fig5.print (Fig5.run scale)) in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Figure 5: control-plane overhead relative to BGP")
+    Term.(const run $ scale_term)
+
+let fig6_cmd =
+  let run scale = timed "fig6" (fun () -> Fig6.print (Fig6.run scale)) in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Figure 6: path quality (resilience and capacity)")
+    Term.(const run $ scale_term)
+
+let scionlab_cmd =
+  let run () = timed "scionlab" (fun () -> Scionlab_exp.print (Scionlab_exp.run ())) in
+  Cmd.v
+    (Cmd.info "scionlab" ~doc:"Appendix B: SCIONLab figures 7, 8 and 9")
+    Term.(const run $ const ())
+
+let tune_cmd =
+  let cores =
+    Arg.(value & opt int 30 & info [ "cores" ] ~docv:"N" ~doc:"Core ASes in the tuning topology.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every candidate.") in
+  let run cores verbose =
+    timed "tune" (fun () ->
+        let full =
+          Caida_like.generate { Caida_like.small_params with Caida_like.n = cores * 8 }
+        in
+        let core, _ = Caida_like.core_subset full ~k:cores in
+        let best = Tuning.grid_search ~verbose core in
+        let p = best.Tuning.params in
+        Printf.printf
+          "Best parameters: alpha=%.1f beta=%.2f gamma=%.1f threshold=%.3f gm_max=%.1f\n"
+          p.Beacon_policy.alpha p.Beacon_policy.beta p.Beacon_policy.gamma
+          p.Beacon_policy.threshold p.Beacon_policy.gm_max;
+        Printf.printf "connectivity=%.3f capacity=%.3f overhead=%.3g bytes score=%.3f\n"
+          best.Tuning.connectivity best.Tuning.capacity_fraction
+          best.Tuning.overhead_bytes best.Tuning.score)
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Grid search for diversity parameters (\\u00a74.2)")
+    Term.(const run $ cores $ verbose)
+
+let convergence_cmd =
+  let failures =
+    Arg.(value & opt int 5 & info [ "failures" ] ~docv:"N" ~doc:"Links to fail.")
+  in
+  let run scale failures =
+    timed "convergence" (fun () ->
+        Convergence.print (Convergence.run ~n_failures:failures scale))
+  in
+  Cmd.v
+    (Cmd.info "convergence"
+       ~doc:"BGP reconvergence vs SCION failover after link failures")
+    Term.(const run $ scale_term $ failures)
+
+let latency_cmd =
+  let run scale = timed "latency" (fun () -> Latency_exp.print (Latency_exp.run scale)) in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"Latency-aware path construction (section 4.2 'other criteria' extension)")
+    Term.(const run $ scale_term)
+
+let lookup_cmd =
+  let requests =
+    Arg.(value & opt int 50000 & info [ "requests" ] ~docv:"N" ~doc:"Lookup requests.")
+  in
+  let run requests =
+    timed "lookup" (fun () ->
+        let base = { Lookup_sim.default_params with Lookup_sim.requests } in
+        let configs =
+          List.concat_map
+            (fun s ->
+              List.map
+                (fun cache -> { base with Lookup_sim.zipf_s = s; Lookup_sim.cache })
+                [ true; false ])
+            [ 0.8; 1.1; 1.4 ]
+        in
+        print_endline
+          "Down-path segment lookup with caching under Zipf popularity (section 4.1):";
+        Lookup_sim.print_sweep (List.map Lookup_sim.run configs))
+  in
+  Cmd.v
+    (Cmd.info "lookup" ~doc:"Path-lookup caching simulation (section 4.1)")
+    Term.(const run $ requests)
+
+let topo_cmd =
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"PREFIX"
+          ~doc:"Also write the topologies to PREFIX.{full,core,isd}.topo.")
+  in
+  let run scale save =
+    timed "topo" (fun () ->
+        let p = Exp_common.prepare scale in
+        let describe name g =
+          let degs = Array.init (Graph.n g) (fun v -> float_of_int (Graph.as_degree g v)) in
+          let links = Array.init (Graph.n g) (fun v -> float_of_int (Graph.link_degree g v)) in
+          Printf.printf "%-6s: %5d ASes %6d links (parallel incl.)  AS-degree %s\n"
+            name (Graph.n g) (Graph.num_links g) (Stats.summary degs);
+          Printf.printf "        link-degree %s  core ASes: %d\n" (Stats.summary links)
+            (List.length (Graph.core_ases g));
+          match save with
+          | None -> ()
+          | Some prefix ->
+              let file = Printf.sprintf "%s.%s.topo" prefix name in
+              let oc = open_out file in
+              output_string oc (Graph.to_text g);
+              close_out oc;
+              Printf.printf "        written to %s\n" file
+        in
+        describe "full" p.Exp_common.full;
+        describe "core" p.Exp_common.core;
+        describe "isd" p.Exp_common.isd)
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:"Describe (and optionally export) the generated experiment topologies")
+    Term.(const run $ scale_term $ save)
+
+let all_cmd =
+  let run scale =
+    timed "all" (fun () ->
+        Table1.print ~measured:(Table1.measure scale) ();
+        print_newline ();
+        Fig5.print (Fig5.run scale);
+        print_newline ();
+        Fig6.print (Fig6.run scale);
+        print_newline ();
+        Scionlab_exp.print (Scionlab_exp.run ());
+        print_newline ();
+        Convergence.print (Convergence.run scale);
+        print_newline ();
+        Latency_exp.print (Latency_exp.run scale))
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment at the given scale")
+    Term.(const run $ scale_term)
+
+let () =
+  let info =
+    Cmd.info "scion_expt" ~version:"1.0"
+      ~doc:
+        "Reproduce the tables and figures of 'Deployment and Scalability of an \
+         Inter-Domain Multi-Path Routing Infrastructure' (CoNEXT '21)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd;
+            fig5_cmd;
+            fig6_cmd;
+            scionlab_cmd;
+            convergence_cmd;
+            latency_cmd;
+            lookup_cmd;
+            tune_cmd;
+            topo_cmd;
+            all_cmd;
+          ]))

@@ -1,0 +1,121 @@
+(* Bulk transfer over multiple disjoint paths (§3.1 names bulk file
+   transfers among the workloads that benefit from SCION's native
+   multi-path): an endpoint picks a set of link-disjoint paths from the
+   disseminated path pool, stripes chunks across them for aggregate
+   capacity, and keeps the transfer running when a link dies mid-way.
+
+   Run with:  dune exec examples/multipath_transfer.exe *)
+
+let () = print_endline "=== Multipath bulk transfer with mid-transfer failover ==="
+
+(* Two sites connected through a well-meshed core with parallel links. *)
+let g =
+  let b = Graph.builder () in
+  let c = Array.init 4 (fun i -> Graph.add_as b ~core:true (Id.ia 1 (i + 1))) in
+  Graph.add_link b ~count:2 ~rel:Graph.Core c.(0) c.(1);
+  Graph.add_link b ~rel:Graph.Core c.(0) c.(2);
+  Graph.add_link b ~rel:Graph.Core c.(1) c.(3);
+  Graph.add_link b ~rel:Graph.Core c.(2) c.(3);
+  Graph.add_link b ~count:2 ~rel:Graph.Core c.(1) c.(2);
+  let src = Graph.add_as b (Id.ia 1 10) in
+  let dst = Graph.add_as b (Id.ia 1 11) in
+  (* Dual-homed sites: two upstream providers each. *)
+  Graph.add_link b ~rel:Graph.Provider_customer c.(0) src;
+  Graph.add_link b ~rel:Graph.Provider_customer c.(2) src;
+  Graph.add_link b ~rel:Graph.Provider_customer c.(1) dst;
+  Graph.add_link b ~rel:Graph.Provider_customer c.(3) dst;
+  Graph.freeze b
+
+let src = 4
+let dst = 5
+
+let cfg =
+  {
+    Beaconing.default_config with
+    Beaconing.duration = 3600.0;
+    Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params;
+  }
+
+let core_out = Beaconing.run g { cfg with Beaconing.scope = Beaconing.Core_beaconing }
+let intra_out = Beaconing.run g { cfg with Beaconing.scope = Beaconing.Intra_isd }
+let cs = Control_service.build ~core:core_out ~intra:intra_out ()
+let net = Forwarding.network g (Control_service.keys cs)
+let now = Control_service.now cs
+
+(* Greedy link-disjoint path selection from the resolved pool. *)
+let disjoint_paths paths =
+  let used = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let fresh =
+        Array.for_all (fun l -> not (Hashtbl.mem used l)) p.Fwd_path.links
+      in
+      if fresh then Array.iter (fun l -> Hashtbl.replace used l ()) p.Fwd_path.links;
+      fresh)
+    paths
+
+let () =
+  let pool = Control_service.resolve cs ~src ~dst in
+  let lanes = disjoint_paths pool in
+  Printf.printf "path pool: %d paths, %d mutually link-disjoint lanes\n"
+    (List.length pool) (List.length lanes);
+  Printf.printf "theoretical capacity: %dx a single path (paper: N+K sites, not N*K lines)\n\n"
+    (List.length lanes);
+  (* Stripe 60 chunks round-robin over the lanes; kill a core link a
+     third of the way through. *)
+  let lanes = Array.of_list lanes in
+  let excluded = ref [] in
+  let delivered = Array.make (Array.length lanes) 0 in
+  let failovers = ref 0 in
+  let kill_at = 20 in
+  let total_chunks = 60 in
+  let victim = ref (-1) in
+  for chunk = 0 to total_chunks - 1 do
+    if chunk = kill_at then begin
+      (* Fail a link on lane 0. *)
+      let lane0 = lanes.(0) in
+      victim := lane0.Fwd_path.links.(Array.length lane0.Fwd_path.links / 2);
+      Forwarding.fail_link net !victim;
+      Printf.printf "chunk %d: link %d on lane 1 fails mid-transfer\n" chunk !victim
+    end;
+    let usable =
+      Array.to_list lanes
+      |> List.mapi (fun i l -> (i, l))
+      |> List.filter (fun (_, l) ->
+             not (List.exists (fun bad -> Fwd_path.contains_link l bad) !excluded))
+    in
+    match usable with
+    | [] -> failwith "no usable lanes left"
+    | _ -> (
+        let i, lane = List.nth usable (chunk mod List.length usable) in
+        match Forwarding.forward net ~now (Forwarding.packet lane ~payload_bytes:65536 ()) with
+        | Forwarding.Delivered _ -> delivered.(i) <- delivered.(i) + 1
+        | Forwarding.Dropped { scmp = Some { Scmp.kind = Scmp.Link_failure { link }; _ }; _ }
+          ->
+            (* SCMP: stop using paths over that link, resend the chunk
+               on the next lane. *)
+            excluded := link :: !excluded;
+            incr failovers;
+            let remaining =
+              List.filter
+                (fun (_, l) -> not (Fwd_path.contains_link l link))
+                usable
+            in
+            (match remaining with
+            | (j, lane') :: _ -> (
+                match
+                  Forwarding.forward net ~now (Forwarding.packet lane' ~payload_bytes:65536 ())
+                with
+                | Forwarding.Delivered _ -> delivered.(j) <- delivered.(j) + 1
+                | Forwarding.Dropped _ -> failwith "retry failed")
+            | [] -> failwith "no disjoint lane left")
+        | Forwarding.Dropped _ -> failwith "unexpected drop")
+  done;
+  Printf.printf "\ntransfer complete: %d chunks over %d lanes (%s), %d failover(s)\n"
+    total_chunks (Array.length lanes)
+    (String.concat "+" (Array.to_list (Array.map string_of_int delivered)))
+    !failovers;
+  print_endline
+    "The failed lane's chunks moved to the surviving disjoint lanes without any\n\
+     routing convergence — the disjointness the diversity algorithm optimises for\n\
+     (§4.2) is what makes the aggregate survive."

@@ -1,0 +1,33 @@
+let dijkstra g ~weights ~src =
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  let heap = Heap.create ~cmp:(fun (a : float * int) b -> compare a b) in
+  Heap.push heap (0.0, src);
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+        if d <= dist.(v) then
+          Array.iter
+            (fun (h : Graph.half_link) ->
+              let w = weights.(h.Graph.via) in
+              if w < 0.0 then invalid_arg "Latency_paths.dijkstra: negative weight";
+              let nd = d +. w in
+              if nd < dist.(h.Graph.peer) then begin
+                dist.(h.Graph.peer) <- nd;
+                Heap.push heap (nd, h.Graph.peer)
+              end)
+            (Graph.adj g v);
+        drain ()
+  in
+  drain ();
+  dist
+
+let best_latency g ~weights ~src ~dst = (dijkstra g ~weights ~src).(dst)
+
+let stored_best_latency ~weights pcbs =
+  List.fold_left
+    (fun acc (p : Pcb.t) ->
+      min acc (Array.fold_left (fun s l -> s +. weights.(l)) 0.0 p.Pcb.links))
+    infinity pcbs

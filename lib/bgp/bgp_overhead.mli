@@ -1,0 +1,65 @@
+(** Monthly control-plane overhead of BGP and BGPsec at monitor ASes
+    (the Fig. 5 baseline and comparison series).
+
+    The paper measures BGP from one month of RouteViews updates and
+    simulates BGPsec with a one-day re-beaconing period multiplied by
+    30 (§5.2). Without access to RouteViews we synthesise the workload:
+
+    - {e prefixes per AS}: Pareto-distributed (few ASes originate most
+      prefixes; mean ≈ 11, matching global table size / AS count);
+    - {e flap events per prefix per month}: Pareto-distributed (update
+      churn concentrates on few prefixes), with a path-exploration
+      amplification factor per event;
+    - BGPsec updates carry a single prefix each (RFC 8205 forbids
+      aggregation) and are re-originated daily.
+
+    A RouteViews monitor contributes one BGP session (its full feed to
+    the collector), so overhead at a monitor counts the updates the
+    monitor itself emits on that single session: one update per
+    prefix-flap event (times the exploration amplification), with the
+    monitor's own best-route AS-path length. This per-session quantity
+    is what SCION's per-interface beaconing traffic is compared
+    against in Fig. 5. *)
+
+type workload = {
+  prefixes : int array;  (** prefixes originated per AS *)
+  flaps_per_prefix : float array;  (** monthly flap events per prefix, per AS *)
+}
+
+val make_workload :
+  ?prefix_alpha:float ->
+  ?prefix_mean_cap:int ->
+  ?prefix_mean:float ->
+  ?flap_alpha:float ->
+  ?flap_x_min:float ->
+  Graph.t ->
+  seed:int64 ->
+  workload
+(** Deterministic synthetic workload. Defaults: prefix Pareto shape 1.1
+    capped at [prefix_mean_cap = 2000]; flap Pareto shape 1.25, scale
+    0.8 (mean ≈ 4 events/prefix/month). *)
+
+type params = {
+  churn_amplification : float;
+      (** updates per flap event per exporting neighbor (path
+          exploration); 2.0 by default *)
+  bgpsec_refresh_days : int;  (** 30: one full-table refresh per day *)
+  signature_bytes : int;  (** 96 for ECDSA-P384 *)
+}
+
+val default_params : params
+
+type result = {
+  monitors : int array;
+  bgp_bytes : float array;  (** per monitor, one month *)
+  bgp_updates : float array;
+  bgpsec_bytes : float array;
+  bgpsec_updates : float array;
+}
+
+val monthly_overhead : Graph.t -> workload -> monitors:int list -> params -> result
+(** One Gao–Rexford table per destination; both protocols accounted in
+    the same pass. *)
+
+val top_degree_monitors : Graph.t -> count:int -> int list
+(** Highest AS-degree ASes, the stand-in for RouteViews peers. *)

@@ -1,0 +1,118 @@
+type per_origin = {
+  by_key : (string, Pcb.t) Hashtbl.t;
+  mutable last_modified : float;
+}
+
+type t = { limit : int; origins : (int, per_origin) Hashtbl.t }
+
+type insert_outcome = Added | Refreshed | Evicted_other | Rejected
+
+let create ~limit =
+  if limit < 1 then invalid_arg "Beacon_store.create: limit must be >= 1";
+  { limit; origins = Hashtbl.create 64 }
+
+let limit t = t.limit
+
+let slot t origin =
+  match Hashtbl.find_opt t.origins origin with
+  | Some s -> s
+  | None ->
+      let s = { by_key = Hashtbl.create 8; last_modified = neg_infinity } in
+      Hashtbl.replace t.origins origin s;
+      s
+
+(* Lexicographic badness: expired, then longer, then older. *)
+let badness ~now (p : Pcb.t) =
+  ((if Pcb.is_valid p ~now then 0 else 1), Pcb.num_hops p, -.p.Pcb.timestamp)
+
+let insert t ~now (pcb : Pcb.t) =
+  if not (Pcb.is_valid pcb ~now) then Rejected
+  else begin
+    let s = slot t pcb.Pcb.origin in
+    match Hashtbl.find_opt s.by_key pcb.Pcb.key with
+    | Some existing ->
+        if pcb.Pcb.timestamp > existing.Pcb.timestamp then begin
+          Hashtbl.replace s.by_key pcb.Pcb.key pcb;
+          s.last_modified <- now;
+          Refreshed
+        end
+        else Rejected
+    | None ->
+        if Hashtbl.length s.by_key < t.limit then begin
+          Hashtbl.replace s.by_key pcb.Pcb.key pcb;
+          s.last_modified <- now;
+          Added
+        end
+        else begin
+          (* Full: find the worst entry and replace it if the newcomer
+             is strictly better. *)
+          let worst =
+            Hashtbl.fold
+              (fun key p acc ->
+                match acc with
+                | None -> Some (key, p)
+                | Some (_, wp) ->
+                    if compare (badness ~now p) (badness ~now wp) > 0 then
+                      Some (key, p)
+                    else acc)
+              s.by_key None
+          in
+          match worst with
+          | Some (wkey, wp) when compare (badness ~now pcb) (badness ~now wp) < 0 ->
+              Hashtbl.remove s.by_key wkey;
+              Hashtbl.replace s.by_key pcb.Pcb.key pcb;
+              s.last_modified <- now;
+              Evicted_other
+          | _ -> Rejected
+        end
+  end
+
+let paths t ~now ~origin =
+  match Hashtbl.find_opt t.origins origin with
+  | None -> []
+  | Some s ->
+      Hashtbl.fold
+        (fun _ p acc -> if Pcb.is_valid p ~now then p :: acc else acc)
+        s.by_key []
+      |> List.sort (fun (a : Pcb.t) (b : Pcb.t) ->
+             match compare (Pcb.num_hops a) (Pcb.num_hops b) with
+             | 0 -> compare b.Pcb.timestamp a.Pcb.timestamp
+             | c -> c)
+
+let origins t =
+  Hashtbl.fold
+    (fun origin s acc -> if Hashtbl.length s.by_key > 0 then origin :: acc else acc)
+    t.origins []
+  |> List.sort compare
+
+let count t ~origin =
+  match Hashtbl.find_opt t.origins origin with
+  | None -> 0
+  | Some s -> Hashtbl.length s.by_key
+
+let total t =
+  Hashtbl.fold (fun _ s acc -> acc + Hashtbl.length s.by_key) t.origins 0
+
+let last_modified t ~origin =
+  match Hashtbl.find_opt t.origins origin with
+  | None -> neg_infinity
+  | Some s -> s.last_modified
+
+let prune_expired t ~now =
+  Hashtbl.iter
+    (fun _ s ->
+      let stale =
+        Hashtbl.fold
+          (fun key p acc -> if Pcb.is_valid p ~now then acc else key :: acc)
+          s.by_key []
+      in
+      List.iter (Hashtbl.remove s.by_key) stale)
+    t.origins
+
+let all_paths t ~now =
+  Hashtbl.fold
+    (fun _ s acc ->
+      Hashtbl.fold
+        (fun _ p acc -> if Pcb.is_valid p ~now then p :: acc else acc)
+        s.by_key acc)
+    t.origins []

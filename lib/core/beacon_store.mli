@@ -1,0 +1,41 @@
+(** Per-AS beacon database.
+
+    Stores received PCBs grouped by origin AS, subject to the PCB
+    storage limit of §5.1 (the maximum number of PCBs per origin AS a
+    beacon server keeps). A new instance of an already-stored path
+    replaces the older instance; when the per-origin budget is full, a
+    new path is admitted only by evicting a worse entry (expired first,
+    then longest, then oldest). *)
+
+type t
+
+type insert_outcome = Added | Refreshed | Evicted_other | Rejected
+
+val create : limit:int -> t
+(** [limit] may be [max_int] for unlimited storage. Raises
+    [Invalid_argument] if [limit < 1]. *)
+
+val limit : t -> int
+
+val insert : t -> now:float -> Pcb.t -> insert_outcome
+(** Expired PCBs are rejected outright. *)
+
+val paths : t -> now:float -> origin:int -> Pcb.t list
+(** Valid stored PCBs from [origin], sorted by (hop count, newer
+    first). *)
+
+val origins : t -> int list
+(** Origins with at least one stored PCB (validity not re-checked). *)
+
+val count : t -> origin:int -> int
+
+val total : t -> int
+
+val last_modified : t -> origin:int -> float
+(** Time of the last successful insert for this origin; [neg_infinity]
+    if never. Lets selection algorithms skip unchanged origins. *)
+
+val prune_expired : t -> now:float -> unit
+
+val all_paths : t -> now:float -> Pcb.t list
+(** Every valid stored PCB (used by the quality analysis). *)

@@ -1,0 +1,481 @@
+type scope = Core_beaconing | Intra_isd
+
+type config = {
+  scope : scope;
+  algorithm : Beacon_policy.t;
+  interval : float;
+  lifetime : float;
+  dissemination_limit : int;
+  storage_limit : int;
+  signature_bytes : int;
+  duration : float;
+  verify_crypto : bool;
+  filters : (int * Beacon_filter.t) list;
+}
+
+let default_config =
+  {
+    scope = Core_beaconing;
+    algorithm = Beacon_policy.Baseline;
+    interval = 600.0;
+    lifetime = 21600.0;
+    dissemination_limit = 5;
+    storage_limit = 60;
+    signature_bytes = 96;
+    duration = 21600.0;
+    verify_crypto = false;
+    filters = [];
+  }
+
+type stats = {
+  bytes_on_iface : float array;
+  pcbs_on_iface : int array;
+  mutable total_bytes : float;
+  mutable total_pcbs : int;
+  mutable crypto_failures : int;
+  rounds : int;
+}
+
+type outcome = {
+  graph : Graph.t;
+  config : config;
+  stores : Beacon_store.t array;
+  stats : stats;
+}
+
+(* A buffered message: the extended PCB, the link it travels on and the
+   receiving AS. *)
+type message = { pcb : Pcb.t; via : int; receiver : int }
+
+let eligible_dir scope (h : Graph.half_link) =
+  match scope with
+  | Core_beaconing -> h.Graph.dir = Graph.To_core
+  | Intra_isd -> h.Graph.dir = Graph.To_customer
+
+let key_id v = "as:" ^ string_of_int v
+
+let run ?on_round g cfg =
+  if cfg.interval <= 0.0 then invalid_arg "Beaconing.run: interval must be positive";
+  if cfg.dissemination_limit < 1 then
+    invalid_arg "Beaconing.run: dissemination limit must be >= 1";
+  let n = Graph.n g in
+  let num_links = Graph.num_links g in
+  let rounds = max 1 (int_of_float ((cfg.duration /. cfg.interval) +. 0.5)) in
+  let stores = Array.init n (fun _ -> Beacon_store.create ~limit:cfg.storage_limit) in
+  let stats =
+    {
+      bytes_on_iface = Array.make (2 * num_links) 0.0;
+      pcbs_on_iface = Array.make (2 * num_links) 0;
+      total_bytes = 0.0;
+      total_pcbs = 0;
+      crypto_failures = 0;
+      rounds;
+    }
+  in
+  (* Outgoing eligible interfaces, grouped by neighbor AS. *)
+  let out_links =
+    Array.init n (fun v ->
+        Array.of_list
+          (List.filter (eligible_dir cfg.scope) (Array.to_list (Graph.adj g v))))
+  in
+  let neighbor_groups =
+    Array.init n (fun v ->
+        let groups = Hashtbl.create 8 in
+        Array.iter
+          (fun (h : Graph.half_link) ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt groups h.Graph.peer) in
+            Hashtbl.replace groups h.Graph.peer (h :: prev))
+          out_links.(v);
+        Hashtbl.fold (fun peer hs acc -> (peer, List.rev hs) :: acc) groups []
+        |> List.sort (fun (a, _) (b, _) -> compare a b))
+  in
+  let peer_links =
+    Array.init n (fun v ->
+        match cfg.scope with
+        | Core_beaconing -> [||]
+        | Intra_isd ->
+            Array.of_list
+              (List.filter_map
+                 (fun (h : Graph.half_link) ->
+                   if h.Graph.dir = Graph.To_peer then Some h.Graph.via else None)
+                 (Array.to_list (Graph.adj g v))))
+  in
+  let originator = Array.init n (fun v -> Graph.is_core g v) in
+  let policies = Array.make n [] in
+  List.iter
+    (fun (v, rules) ->
+      if v < 0 || v >= n then invalid_arg "Beaconing.run: filter for unknown AS";
+      policies.(v) <- rules)
+    cfg.filters;
+  let policy_allows x p = Beacon_filter.allows g policies.(x) p in
+  let keystore = Signature.create_keystore () in
+  let keys =
+    if cfg.verify_crypto then
+      Array.init n (fun v -> Some (Signature.generate keystore Signature.Ecdsa_p384 ~id:(key_id v)))
+    else Array.make n None
+  in
+  (* §2.1-2.2 PKI: each ISD's TRC anchors the keys of its core ASes;
+     member ASes hold certificates issued by a core AS of their ISD.
+     Receivers verify the signer's certificate against the signer's
+     TRC before checking the PCB signature. ISDs without a core AS
+     (possible in hand-built test graphs) skip the certificate layer. *)
+  let trcs : (int, Trc.t) Hashtbl.t = Hashtbl.create 8 in
+  let certs : Trc.cert option array = Array.make n None in
+  if cfg.verify_crypto then begin
+    let cores_by_isd = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        let isd = (Graph.as_info g c).Graph.ia.Id.isd in
+        Hashtbl.replace cores_by_isd isd
+          (c :: Option.value ~default:[] (Hashtbl.find_opt cores_by_isd isd)))
+      (Graph.core_ases g);
+    Hashtbl.iter
+      (fun isd cores ->
+        Hashtbl.replace trcs isd
+          (Trc.create ~isd ~version:1 ~roots:(List.map key_id (List.rev cores))))
+      cores_by_isd;
+    for v = 0 to n - 1 do
+      let isd = (Graph.as_info g v).Graph.ia.Id.isd in
+      match Hashtbl.find_opt cores_by_isd isd with
+      | Some (issuer :: _) -> (
+          match keys.(issuer) with
+          | Some issuer_key -> certs.(v) <- Some (Trc.issue issuer_key ~subject:(key_id v))
+          | None -> ())
+      | _ -> ()
+    done
+  end;
+  let signer_chain_valid signer =
+    match certs.(signer) with
+    | None -> true (* no TRC coverage for this ISD: signature check only *)
+    | Some cert -> (
+        let isd = (Graph.as_info g signer).Graph.ia.Id.isd in
+        match Hashtbl.find_opt trcs isd with
+        | Some trc -> Trc.verify_cert keystore trc cert
+        | None -> false)
+  in
+  let div_states =
+    match cfg.algorithm with
+    | Beacon_policy.Baseline -> [||]
+    | Beacon_policy.Diversity _ | Beacon_policy.Latency_aware _ ->
+        Array.init n (fun _ -> Diversity_state.create ~n_as:n)
+  in
+  let outbox = ref [] in
+  let outbox_len = ref 0 in
+  let send ~now ~sender ~(h : Graph.half_link) pcb =
+    let ingress =
+      match Pcb.last_link pcb with
+      | None -> 0
+      | Some l -> Graph.iface_of (Graph.link g l) sender
+    in
+    let ext =
+      Pcb.extend pcb ~asn:sender ~ingress ~egress:h.Graph.local_if ~link:h.Graph.via
+        ~peers:peer_links.(sender)
+    in
+    let ext =
+      match keys.(sender) with
+      | None -> ext
+      | Some kp -> Pcb.with_signature ext (Signature.sign kp (Pcb.signable_bytes ext))
+    in
+    let size = float_of_int (Pcb.wire_bytes ext ~signature_bytes:cfg.signature_bytes) in
+    let lk = Graph.link g h.Graph.via in
+    let dir_index = (2 * h.Graph.via) + if lk.Graph.a = sender then 0 else 1 in
+    stats.bytes_on_iface.(dir_index) <- stats.bytes_on_iface.(dir_index) +. size;
+    stats.pcbs_on_iface.(dir_index) <- stats.pcbs_on_iface.(dir_index) + 1;
+    stats.total_bytes <- stats.total_bytes +. size;
+    stats.total_pcbs <- stats.total_pcbs + 1;
+    outbox := { pcb = ext; via = h.Graph.via; receiver = h.Graph.peer } :: !outbox;
+    incr outbox_len;
+    ignore now
+  in
+
+  (* --- Baseline selection: P shortest per origin per interface. --- *)
+  let run_baseline_as ~now x =
+    let store = stores.(x) in
+    let cand_cache : (int, Pcb.t list) Hashtbl.t = Hashtbl.create 16 in
+    let candidates o =
+      match Hashtbl.find_opt cand_cache o with
+      | Some c -> c
+      | None ->
+          let c =
+            if o = x then [ Pcb.origin_pcb ~origin:x ~now ~lifetime:cfg.lifetime ]
+            else
+              List.filter (policy_allows x) (Beacon_store.paths store ~now ~origin:o)
+          in
+          Hashtbl.replace cand_cache o c;
+          c
+    in
+    let origins =
+      (if originator.(x) then [ x ] else []) @ Beacon_store.origins store
+    in
+    Array.iter
+      (fun (h : Graph.half_link) ->
+        let nbr = h.Graph.peer in
+        List.iter
+          (fun o ->
+            if o <> nbr then begin
+              let sent = ref 0 in
+              List.iter
+                (fun p ->
+                  if !sent < cfg.dissemination_limit && not (Pcb.contains_as p nbr)
+                  then begin
+                    send ~now ~sender:x ~h p;
+                    incr sent
+                  end)
+                (candidates o)
+            end)
+          origins)
+      out_links.(x)
+  in
+
+  (* --- Quality-aware selection: Algorithm 1 per (origin, neighbor).
+     [quality] is the metric-specific base score of a candidate path
+     (link diversity, or latency for the §4.2 extension);
+     [track_history] maintains the Link History Table (only meaningful
+     for the diversity metric). --- *)
+  let run_quality_as ~now ~(params : Beacon_policy.div_params) ~quality ~track_history x =
+    let store = stores.(x) in
+    let st = div_states.(x) in
+    let cand_cache : (int, Pcb.t list) Hashtbl.t = Hashtbl.create 16 in
+    let candidates o =
+      match Hashtbl.find_opt cand_cache o with
+      | Some c -> c
+      | None ->
+          let c =
+            if o = x then [ Pcb.origin_pcb ~origin:x ~now ~lifetime:cfg.lifetime ]
+            else
+              List.filter (policy_allows x) (Beacon_store.paths store ~now ~origin:o)
+          in
+          Hashtbl.replace cand_cache o c;
+          c
+    in
+    let origins =
+      (if originator.(x) then [ x ] else []) @ Beacon_store.origins store
+    in
+    List.iter
+      (fun (nbr, hlist) ->
+        List.iter
+          (fun o ->
+            if o <> nbr then begin
+              let store_last_mod =
+                if o = x then infinity else Beacon_store.last_modified store ~origin:o
+              in
+              if
+                Diversity_state.should_evaluate st ~origin:o ~neighbor:nbr
+                  ~store_last_mod ~now
+              then begin
+                Diversity_state.begin_evaluation st ~origin:o ~neighbor:nbr ~now;
+                let cands = candidates o in
+                let sent_cnt = ref 0 in
+                let stop = ref false in
+                (* Score every (path, egress) combination once; after a
+                   dissemination only combinations whose inputs changed
+                   are re-scored: the selected one (its key enters the
+                   Sent PCBs List) and, when link history is tracked,
+                   fresh-branch combinations sharing a link with the
+                   sent path. Selections are identical to a full rescan
+                   of Algorithm 1 at a fraction of the cost. *)
+                let score_of (p : Pcb.t) (h : Graph.half_link) key_new =
+                  match
+                    Diversity_state.find_sent st ~egress:h.Graph.via ~key:key_new
+                  with
+                  | Some info when info.Diversity_state.sent_expires_at > now ->
+                      let s =
+                        Beacon_policy.score_resend params
+                          ~ds:info.Diversity_state.ds
+                          ~sent_remaining:
+                            (info.Diversity_state.sent_expires_at -. now)
+                          ~current_remaining:(Pcb.remaining p ~now)
+                      in
+                      if s <= params.Beacon_policy.threshold then
+                        Diversity_state.propose_next_eval st ~origin:o ~neighbor:nbr
+                          (Beacon_policy.resend_crossing_time params
+                             ~ds:info.Diversity_state.ds ~now
+                             ~sent_expires_at:info.Diversity_state.sent_expires_at
+                             ~current_expires_at:(Pcb.expires_at p));
+                      (s, `Resend info)
+                  | _ ->
+                      let ds =
+                        quality st ~origin:o ~neighbor:nbr ~p ~egress:h.Graph.via
+                      in
+                      let s =
+                        Beacon_policy.score_fresh params ~ds ~age:(Pcb.age p ~now)
+                          ~lifetime:p.Pcb.lifetime
+                      in
+                      (s, `New)
+                in
+                let combos =
+                  List.concat_map
+                    (fun (p : Pcb.t) ->
+                      if Pcb.contains_as p nbr then []
+                      else
+                        List.map
+                          (fun (h : Graph.half_link) ->
+                            let key_new = Pcb.extend_key p.Pcb.key h.Graph.via in
+                            let score, action = score_of p h key_new in
+                            (p, h, key_new, ref score, ref action))
+                          hlist)
+                    cands
+                in
+                (* Does the combo (p, egress) use any counter touched by
+                   the sent path (its links plus its egress link)? *)
+                let shares_link (p : Pcb.t) egress links extra =
+                  let touched l = l = extra || Array.exists (fun l' -> l' = l) links in
+                  touched egress || Array.exists touched p.Pcb.links
+                in
+                while !sent_cnt < cfg.dissemination_limit && not !stop do
+                  let best = ref None in
+                  let best_score = ref 0.0 in
+                  List.iter
+                    (fun ((_, _, _, score, _) as combo) ->
+                      if
+                        !score > params.Beacon_policy.threshold
+                        && !score > !best_score
+                      then begin
+                        best_score := !score;
+                        best := Some combo
+                      end)
+                    combos;
+                  match !best with
+                  | None -> stop := true
+                  | Some (p, h, key_new, _score_ref, action_ref) ->
+                      send ~now ~sender:x ~h p;
+                      let expires_at = Pcb.expires_at p in
+                      (match !action_ref with
+                      | `Resend info ->
+                          Diversity_state.refresh_sent info ~expires_at
+                      | `New ->
+                          if track_history then
+                            Diversity_state.increment st ~origin:o ~neighbor:nbr
+                              ~links:p.Pcb.links ~extra:h.Graph.via;
+                          (* The recorded base score reflects the state
+                             after this dissemination. *)
+                          let ds_post =
+                            quality st ~origin:o ~neighbor:nbr ~p ~egress:h.Graph.via
+                          in
+                          let links_full =
+                            Array.append p.Pcb.links [| h.Graph.via |]
+                          in
+                          Diversity_state.record_sent st ~origin:o ~neighbor:nbr
+                            ~egress:h.Graph.via ~key:key_new ~links:links_full
+                            ~ds:ds_post ~expires_at);
+                      incr sent_cnt;
+                      (* Re-score what this dissemination affected. *)
+                      let sent_links = p.Pcb.links and sent_egress = h.Graph.via in
+                      List.iter
+                        (fun (p', h', key', score', action') ->
+                          let self = key' = key_new && h'.Graph.via = h.Graph.via in
+                          let affected =
+                            self
+                            || (track_history
+                               && (match !action' with
+                                  | `New ->
+                                      shares_link p' h'.Graph.via sent_links
+                                        sent_egress
+                                  | `Resend _ -> false))
+                          in
+                          if affected then begin
+                            let s, a = score_of p' h' key' in
+                            score' := s;
+                            action' := a
+                          end)
+                        combos
+                done
+              end
+            end)
+          origins)
+      neighbor_groups.(x)
+  in
+
+  let deliver ~now =
+    List.iter
+      (fun m ->
+        let accept =
+          if not cfg.verify_crypto then true
+          else begin
+            (* Verify the newest AS entry's signature; inner entries
+               were verified by the upstream on-path verifiers. *)
+            match m.pcb.Pcb.signatures with
+            | [] -> false
+            | newest :: _ ->
+                let nh = Array.length m.pcb.Pcb.hops in
+                let signer = m.pcb.Pcb.hops.(nh - 1).Pcb.asn in
+                signer_chain_valid signer
+                && Signature.verify keystore ~id:(key_id signer)
+                     ~msg:(Pcb.signable_bytes m.pcb) ~signature:newest
+          end
+        in
+        if accept then ignore (Beacon_store.insert stores.(m.receiver) ~now m.pcb)
+        else stats.crypto_failures <- stats.crypto_failures + 1)
+      (List.rev !outbox);
+    outbox := [];
+    outbox_len := 0
+  in
+
+  for r = 0 to rounds - 1 do
+    let now = float_of_int r *. cfg.interval in
+    if r > 0 && r mod 6 = 0 then begin
+      Array.iter (fun s -> Beacon_store.prune_expired s ~now) stores;
+      Array.iter (fun st -> Diversity_state.prune st ~now) div_states
+    end;
+    for x = 0 to n - 1 do
+      match cfg.algorithm with
+      | Beacon_policy.Baseline -> run_baseline_as ~now x
+      | Beacon_policy.Diversity params ->
+          let quality st ~origin ~neighbor ~p ~egress =
+            Beacon_policy.diversity_of_gm params
+              (Diversity_state.counters_mean st
+                 ~kind:params.Beacon_policy.mean_kind ~origin ~neighbor
+                 ~links:p.Pcb.links ~extra:egress)
+          in
+          run_quality_as ~now ~params ~quality ~track_history:true x
+      | Beacon_policy.Latency_aware lp ->
+          let table = lp.Beacon_policy.link_latency_ms in
+          let quality _st ~origin:_ ~neighbor:_ ~p ~egress =
+            let total =
+              Array.fold_left (fun acc l -> acc +. table.(l)) table.(egress)
+                p.Pcb.links
+            in
+            Beacon_policy.latency_quality lp ~total_ms:total
+          in
+          run_quality_as ~now ~params:lp.Beacon_policy.base ~quality
+            ~track_history:false x
+    done;
+    deliver ~now;
+    match on_round with None -> () | Some f -> f ~round:r ~now
+  done;
+  { graph = g; config = cfg; stores; stats }
+
+let received_bytes_by_as outcome =
+  let g = outcome.graph in
+  let acc = Array.make (Graph.n g) 0.0 in
+  for l = 0 to Graph.num_links g - 1 do
+    let lk = Graph.link g l in
+    acc.(lk.Graph.b) <- acc.(lk.Graph.b) +. outcome.stats.bytes_on_iface.(2 * l);
+    acc.(lk.Graph.a) <- acc.(lk.Graph.a) +. outcome.stats.bytes_on_iface.((2 * l) + 1)
+  done;
+  acc
+
+let sent_bytes_by_as outcome =
+  let g = outcome.graph in
+  let acc = Array.make (Graph.n g) 0.0 in
+  for l = 0 to Graph.num_links g - 1 do
+    let lk = Graph.link g l in
+    acc.(lk.Graph.a) <- acc.(lk.Graph.a) +. outcome.stats.bytes_on_iface.(2 * l);
+    acc.(lk.Graph.b) <- acc.(lk.Graph.b) +. outcome.stats.bytes_on_iface.((2 * l) + 1)
+  done;
+  acc
+
+let eligible_iface_bytes outcome =
+  let g = outcome.graph in
+  let acc = ref [] in
+  for v = 0 to Graph.n g - 1 do
+    Array.iter
+      (fun (h : Graph.half_link) ->
+        if eligible_dir outcome.config.scope h then begin
+          let lk = Graph.link g h.Graph.via in
+          let dir_index = (2 * h.Graph.via) + if lk.Graph.a = v then 0 else 1 in
+          acc := outcome.stats.bytes_on_iface.(dir_index) :: !acc
+        end)
+      (Graph.adj g v)
+  done;
+  Array.of_list !acc

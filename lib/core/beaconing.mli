@@ -1,0 +1,73 @@
+(** Round-based beaconing engine for core and intra-ISD beaconing (§2.2).
+
+    Each beaconing interval, every originating core AS initiates a
+    fresh PCB instance, and every AS runs its path-construction
+    algorithm to select which stored PCBs to extend and disseminate on
+    which eligible interfaces. Messages sent in one interval are
+    delivered before the next (the intervals of §5.1 are three orders
+    of magnitude longer than propagation delays), which is exactly the
+    regime the paper's ns-3 simulations operate in.
+
+    - {e Core beaconing}: selective flooding over core links; all core
+      ASes originate.
+    - {e Intra-ISD beaconing}: uni-directional dissemination from the
+      ISD core down provider–customer links; only core ASes originate,
+      and each AS entry advertises the AS's peering links. *)
+
+type scope = Core_beaconing | Intra_isd
+
+type config = {
+  scope : scope;
+  algorithm : Beacon_policy.t;
+  interval : float;  (** beaconing interval, 600 s in §5.1 *)
+  lifetime : float;  (** PCB lifetime, 21 600 s in §5.1 *)
+  dissemination_limit : int;
+      (** max PCBs per origin per interval — applied per interface for
+          the baseline, per neighbor AS for the diversity algorithm
+          (§5.1); 5 in all paper experiments *)
+  storage_limit : int;  (** PCB storage limit per origin; [max_int] = ∞ *)
+  signature_bytes : int;  (** 96 for ECDSA-P384 *)
+  duration : float;  (** simulated time, 21 600 s in §5.1 *)
+  verify_crypto : bool;
+      (** sign every AS entry and verify whole chains on receipt
+          (intended for small topologies and tests) *)
+  filters : (int * Beacon_filter.t) list;
+      (** AS-local propagation policies (§2.2): candidate PCBs an AS's
+          policy rejects are never disseminated by that AS *)
+}
+
+val default_config : config
+(** §5.1 settings: core beaconing, baseline algorithm, 10-minute
+    interval, 6-hour lifetime and duration, limits 5/60, ECDSA-P384
+    sizes, no crypto verification. *)
+
+type stats = {
+  bytes_on_iface : float array;
+      (** sent bytes per directed interface; index [2*link + 0] for the
+          [a]→[b] direction, [2*link + 1] for [b]→[a] *)
+  pcbs_on_iface : int array;  (** sent PCB count, same indexing *)
+  mutable total_bytes : float;
+  mutable total_pcbs : int;
+  mutable crypto_failures : int;
+  rounds : int;
+}
+
+type outcome = {
+  graph : Graph.t;
+  config : config;
+  stores : Beacon_store.t array;  (** final beacon store of every AS *)
+  stats : stats;
+}
+
+val run : ?on_round:(round:int -> now:float -> unit) -> Graph.t -> config -> outcome
+(** Simulate [duration / interval] beaconing intervals. *)
+
+val received_bytes_by_as : outcome -> float array
+(** Control-plane bytes received per AS (PCBs arriving on its
+    interfaces), the per-monitor quantity of Fig. 5. *)
+
+val sent_bytes_by_as : outcome -> float array
+
+val eligible_iface_bytes : outcome -> float array
+(** Sent bytes of every directed interface that is eligible for the
+    configured scope (the per-interface distribution of Fig. 9). *)

@@ -1,0 +1,143 @@
+type sent_info = {
+  ds : float;
+  mutable sent_expires_at : float;
+  origin : int;
+  neighbor : int;
+  links : int array;
+}
+
+type pair_state = {
+  mutable last_eval : float;
+  mutable next_eval : float;
+}
+
+type t = {
+  n_as : int;
+  history : (int, (int, int ref) Hashtbl.t) Hashtbl.t; (* pair key -> link -> count *)
+  sent : (int, (string, sent_info) Hashtbl.t) Hashtbl.t; (* egress link -> path key -> info *)
+  pairs : (int, pair_state) Hashtbl.t;
+}
+
+let create ~n_as =
+  {
+    n_as;
+    history = Hashtbl.create 256;
+    sent = Hashtbl.create 64;
+    pairs = Hashtbl.create 256;
+  }
+
+let pair_key t ~origin ~neighbor = (origin * t.n_as) + neighbor
+
+let pair_state t ~origin ~neighbor =
+  let k = pair_key t ~origin ~neighbor in
+  match Hashtbl.find_opt t.pairs k with
+  | Some s -> s
+  | None ->
+      let s = { last_eval = neg_infinity; next_eval = infinity } in
+      Hashtbl.replace t.pairs k s;
+      s
+
+let history_table t ~origin ~neighbor =
+  let k = pair_key t ~origin ~neighbor in
+  match Hashtbl.find_opt t.history k with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace t.history k h;
+      h
+
+let counter table link =
+  match Hashtbl.find_opt table link with Some r -> !r | None -> 0
+
+let counters_gm t ~origin ~neighbor ~links ~extra =
+  let table = history_table t ~origin ~neighbor in
+  if Hashtbl.length table = 0 then 1.0
+  else begin
+  let log_sum = ref 0.0 in
+  Array.iter
+    (fun l -> log_sum := !log_sum +. log (float_of_int (1 + counter table l)))
+    links;
+  log_sum := !log_sum +. log (float_of_int (1 + counter table extra));
+  exp (!log_sum /. float_of_int (Array.length links + 1))
+  end
+
+let counters_mean t ~kind ~origin ~neighbor ~links ~extra =
+  match kind with
+  | Beacon_policy.Geometric -> counters_gm t ~origin ~neighbor ~links ~extra
+  | Beacon_policy.Arithmetic ->
+      let table = history_table t ~origin ~neighbor in
+      if Hashtbl.length table = 0 then 1.0
+      else begin
+        let sum = ref 0.0 in
+        Array.iter
+          (fun l -> sum := !sum +. float_of_int (1 + counter table l))
+          links;
+        sum := !sum +. float_of_int (1 + counter table extra);
+        !sum /. float_of_int (Array.length links + 1)
+      end
+
+let bump table link delta =
+  match Hashtbl.find_opt table link with
+  | Some r ->
+      r := !r + delta;
+      if !r <= 0 then Hashtbl.remove table link
+  | None -> if delta > 0 then Hashtbl.replace table link (ref delta)
+
+let increment t ~origin ~neighbor ~links ~extra =
+  let table = history_table t ~origin ~neighbor in
+  Array.iter (fun l -> bump table l 1) links;
+  bump table extra 1
+
+let sent_table t egress =
+  match Hashtbl.find_opt t.sent egress with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace t.sent egress s;
+      s
+
+let find_sent t ~egress ~key =
+  match Hashtbl.find_opt t.sent egress with
+  | None -> None
+  | Some table -> Hashtbl.find_opt table key
+
+let record_sent t ~origin ~neighbor ~egress ~key ~links ~ds ~expires_at =
+  let info = { ds; sent_expires_at = expires_at; origin; neighbor; links } in
+  Hashtbl.replace (sent_table t egress) key info
+
+let refresh_sent info ~expires_at = info.sent_expires_at <- expires_at
+
+let should_evaluate t ~origin ~neighbor ~store_last_mod ~now =
+  let s = pair_state t ~origin ~neighbor in
+  (* ">=": a store update in the same round as the last evaluation (the
+     engine evaluates before it delivers) must trigger re-evaluation. *)
+  store_last_mod >= s.last_eval || now >= s.next_eval
+
+let begin_evaluation t ~origin ~neighbor ~now =
+  let s = pair_state t ~origin ~neighbor in
+  s.last_eval <- now;
+  s.next_eval <- infinity
+
+let propose_next_eval t ~origin ~neighbor time =
+  let s = pair_state t ~origin ~neighbor in
+  if time < s.next_eval then s.next_eval <- time
+
+let prune t ~now =
+  Hashtbl.iter
+    (fun _ table ->
+      let dead =
+        Hashtbl.fold
+          (fun key info acc ->
+            if info.sent_expires_at <= now then (key, info) :: acc else acc)
+          table []
+      in
+      List.iter
+        (fun (key, info) ->
+          Hashtbl.remove table key;
+          let h = history_table t ~origin:info.origin ~neighbor:info.neighbor in
+          Array.iter (fun l -> bump h l (-1)) info.links)
+        dead)
+    t.sent
+
+let sent_count t =
+  Hashtbl.fold (fun _ table acc -> acc + Hashtbl.length table) t.sent 0

@@ -1,0 +1,85 @@
+(** Mutable per-AS state of the path-diversity-based algorithm (§4.2).
+
+    Two data structures from the paper:
+
+    - the {e Link History Table} per [(origin AS, neighbor AS)] pair,
+      mapping link ids to the number of currently valid paths from the
+      origin to the neighbor that traverse the link;
+    - the {e Sent PCBs List} per egress interface, remembering for each
+      disseminated path its diversity score at send time and the expiry
+      of the instance last sent.
+
+    Plus one engineering addition: per-pair evaluation gating, so the
+    beacon server skips (origin, neighbor) pairs whose inputs cannot
+    have changed since the last evaluation (no new stored paths, no
+    sent instance near expiry). This does not alter selections, only
+    when they are recomputed. *)
+
+type sent_info = {
+  ds : float;  (** diversity score recorded at first dissemination *)
+  mutable sent_expires_at : float;  (** expiry of the last sent instance *)
+  origin : int;
+  neighbor : int;
+  links : int array;  (** full path including the egress link *)
+}
+
+type t
+
+val create : n_as:int -> t
+(** [n_as] bounds the (origin, neighbor) pair key space. *)
+
+val counters_gm : t -> origin:int -> neighbor:int -> links:int array -> extra:int -> float
+(** Geometric mean of [(1 + counter)] over [links] plus the [extra]
+    egress link, against the pair's Link History Table. *)
+
+val counters_mean :
+  t ->
+  kind:Beacon_policy.mean_kind ->
+  origin:int ->
+  neighbor:int ->
+  links:int array ->
+  extra:int ->
+  float
+(** Like {!counters_gm} but with a selectable aggregation (the
+    DESIGN.md ablation). *)
+
+val increment : t -> origin:int -> neighbor:int -> links:int array -> extra:int -> unit
+(** Count a newly disseminated path on every traversed link. *)
+
+val find_sent : t -> egress:int -> key:string -> sent_info option
+
+val record_sent :
+  t ->
+  origin:int ->
+  neighbor:int ->
+  egress:int ->
+  key:string ->
+  links:int array ->
+  ds:float ->
+  expires_at:float ->
+  unit
+(** Insert a fresh Sent-PCBs-List entry (first dissemination of this
+    path on this interface). *)
+
+val refresh_sent : sent_info -> expires_at:float -> unit
+(** A path was re-sent: only its timers are updated (§4.2). *)
+
+val should_evaluate :
+  t -> origin:int -> neighbor:int -> store_last_mod:float -> now:float -> bool
+(** Gating: evaluate if the store changed since the last evaluation or
+    the pair's scheduled re-evaluation time has been reached. *)
+
+val begin_evaluation : t -> origin:int -> neighbor:int -> now:float -> unit
+(** Record the evaluation and clear the scheduled re-evaluation time
+    (to be re-proposed from the scan's crossing-time predictions). *)
+
+val propose_next_eval : t -> origin:int -> neighbor:int -> float -> unit
+(** Lower the pair's scheduled re-evaluation time. *)
+
+val prune : t -> now:float -> unit
+(** Drop expired Sent-PCBs-List entries and decrement the link history
+    counters of their paths, so counters keep reflecting {e valid}
+    paths only. *)
+
+val sent_count : t -> int
+(** Total live Sent-PCBs-List entries (for tests and introspection). *)

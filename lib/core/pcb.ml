@@ -1,0 +1,99 @@
+type hop = {
+  asn : int;
+  ingress : Id.iface;
+  egress : Id.iface;
+  link : int;
+  peers : int array;
+}
+
+type t = {
+  origin : int;
+  timestamp : float;
+  lifetime : float;
+  hops : hop array;
+  links : int array;
+  key : string;
+  signatures : string list;
+}
+
+(* Link ids are encoded as 3 bytes each; sufficient for 2^24 links. *)
+let path_key links =
+  let b = Bytes.create (3 * Array.length links) in
+  Array.iteri
+    (fun i l ->
+      Bytes.set b (3 * i) (Char.chr (l land 0xFF));
+      Bytes.set b ((3 * i) + 1) (Char.chr ((l lsr 8) land 0xFF));
+      Bytes.set b ((3 * i) + 2) (Char.chr ((l lsr 16) land 0xFF)))
+    links;
+  Bytes.to_string b
+
+let extend_key key link =
+  let b = Bytes.create 3 in
+  Bytes.set b 0 (Char.chr (link land 0xFF));
+  Bytes.set b 1 (Char.chr ((link lsr 8) land 0xFF));
+  Bytes.set b 2 (Char.chr ((link lsr 16) land 0xFF));
+  key ^ Bytes.to_string b
+
+let with_signature t s = { t with signatures = s :: t.signatures }
+
+let origin_pcb ~origin ~now ~lifetime =
+  {
+    origin;
+    timestamp = now;
+    lifetime;
+    hops = [||];
+    links = [||];
+    key = "";
+    signatures = [];
+  }
+
+let extend ?signature t ~asn ~ingress ~egress ~link ~peers =
+  let nh = Array.length t.hops in
+  let hops = Array.make (nh + 1) { asn; ingress; egress; link; peers } in
+  Array.blit t.hops 0 hops 0 nh;
+  let links = Array.make (nh + 1) link in
+  Array.blit t.links 0 links 0 nh;
+  let signatures =
+    match signature with None -> t.signatures | Some s -> s :: t.signatures
+  in
+  { t with hops; links; key = path_key links; signatures }
+
+let expires_at t = t.timestamp +. t.lifetime
+
+let is_valid t ~now = now >= t.timestamp && now < expires_at t
+
+let age t ~now = now -. t.timestamp
+
+let remaining t ~now = max 0.0 (expires_at t -. now)
+
+let num_hops t = Array.length t.hops
+
+let contains_as t a =
+  t.origin = a || Array.exists (fun h -> h.asn = a) t.hops
+
+let last_link t =
+  let n = Array.length t.links in
+  if n = 0 then None else Some t.links.(n - 1)
+
+let wire_bytes t ~signature_bytes =
+  let base = Wire.pcb_bytes ~hops:(Array.length t.hops) ~signature_bytes in
+  let peering =
+    Array.fold_left (fun acc h -> acc + (16 * Array.length h.peers)) 0 t.hops
+  in
+  base + peering
+
+let signable_bytes t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "pcb|%d|%.3f|%.0f|" t.origin t.timestamp t.lifetime);
+  Array.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%d:%d:%d;" h.asn h.ingress h.egress h.link))
+    t.hops;
+  Buffer.contents buf
+
+let pp fmt t =
+  Format.fprintf fmt "PCB[origin=%d ts=%.0f hops=%d path=%s]" t.origin t.timestamp
+    (Array.length t.hops)
+    (String.concat "->"
+       (Array.to_list (Array.map (fun h -> string_of_int h.asn) t.hops)))

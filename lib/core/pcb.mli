@@ -1,0 +1,84 @@
+(** Path-segment Construction Beacons (§2.2).
+
+    A PCB is initiated by a core AS and extended hop by hop: before
+    propagating, each beacon server appends its AS entry carrying the
+    ingress/egress interface pair of the traversed inter-domain link, a
+    hop field for the data plane, and a signature. A PCB therefore
+    encodes one path segment at inter-domain-interface granularity. *)
+
+type hop = {
+  asn : int;  (** AS index in the topology *)
+  ingress : Id.iface;  (** receiving interface; 0 at the origin *)
+  egress : Id.iface;  (** interface used to reach the next AS *)
+  link : int;  (** link id of the egress link *)
+  peers : int array;
+      (** peering-link ids the AS advertised in its entry (intra-ISD
+          beaconing, §2.2); enables peering shortcuts (§2.3) *)
+}
+
+type t = private {
+  origin : int;  (** originating core AS index *)
+  timestamp : float;  (** initiation time of this instance *)
+  lifetime : float;
+  hops : hop array;  (** AS entries from the origin onwards *)
+  links : int array;  (** link ids traversed, in order *)
+  key : string;  (** canonical identity of the {e path} (link sequence);
+                     instances of the same path share the key *)
+  signatures : string list;  (** per-AS-entry signatures, newest first
+                                 (empty when crypto is disabled) *)
+}
+
+val origin_pcb : origin:int -> now:float -> lifetime:float -> t
+(** A PCB as it exists inside its origin AS before the origin's own AS
+    entry is appended: zero hops. *)
+
+val extend :
+  ?signature:string ->
+  t ->
+  asn:int ->
+  ingress:Id.iface ->
+  egress:Id.iface ->
+  link:int ->
+  peers:int array ->
+  t
+(** Append one AS entry; called by the beacon server just before
+    propagation (the origin calls it with [ingress:0]). *)
+
+val expires_at : t -> float
+
+val is_valid : t -> now:float -> bool
+
+val age : t -> now:float -> float
+
+val remaining : t -> now:float -> float
+(** Remaining lifetime, clamped at 0. *)
+
+val num_hops : t -> int
+(** Number of AS entries (= AS-path length of the encoded segment). *)
+
+val contains_as : t -> int -> bool
+(** Loop check: is the AS already on the path (origin included)? *)
+
+val last_link : t -> int option
+(** The link over which the PCB reached its current holder. *)
+
+val path_key : int array -> string
+(** Canonical key for a link sequence (also used for candidate paths
+    that have not been materialised as PCBs yet). *)
+
+val extend_key : string -> int -> string
+(** [extend_key key link] is the key of the path obtained by appending
+    [link], without materialising the PCB. *)
+
+val with_signature : t -> string -> t
+(** Attach the newest AS entry's signature (computed over
+    {!signable_bytes} of the extended PCB). *)
+
+val wire_bytes : t -> signature_bytes:int -> int
+(** On-the-wire size of the (already extended) PCB. *)
+
+val signable_bytes : t -> string
+(** Deterministic serialisation of the PCB content covered by the next
+    AS-entry signature. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Trust Root Configuration (TRC) and AS certificates (§2.1).
+
+    Each ISD groups ASes that agree on a set of trust roots — the
+    signing keys of the ISD's core ASes. Core ASes issue certificates
+    to member ASes; PCB signatures verify through this chain. The model
+    captures exactly the structure the control plane needs: root-key
+    membership, certificate issuance, and chain verification. *)
+
+type t
+(** A TRC: versioned set of trust-root key ids for one ISD. *)
+
+type cert = {
+  subject : string;  (** key id of the certified AS *)
+  issuer : string;  (** key id of the issuing core AS *)
+  signature : string;  (** issuer's signature over the subject id *)
+}
+
+val create : isd:int -> version:int -> roots:string list -> t
+(** [create ~isd ~version ~roots] builds a TRC whose trust roots are the
+    given key ids. Raises [Invalid_argument] if [roots] is empty. *)
+
+val isd : t -> int
+
+val version : t -> int
+
+val roots : t -> string list
+
+val is_root : t -> string -> bool
+
+val issue : Signature.keypair -> subject:string -> cert
+(** [issue issuer_key ~subject] signs a certificate for [subject]. *)
+
+val verify_cert : Signature.keystore -> t -> cert -> bool
+(** A certificate is valid iff its issuer is a trust root of the TRC and
+    the signature verifies against the issuer's registered key. *)
+
+val update : t -> roots:string list -> t
+(** Next TRC version with a new root set (trust-root rollover). *)

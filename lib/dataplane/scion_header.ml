@@ -1,0 +1,244 @@
+type header = {
+  src : Id.endpoint;
+  dst : Id.endpoint;
+  payload_len : int;
+  path : Fwd_path.t;
+}
+
+let version = 1
+
+exception Bad of string
+
+(* --- Writers (big-endian) --- *)
+
+let u8 buf v =
+  if v < 0 || v > 0xFF then invalid_arg "Scion_header: u8 out of range";
+  Buffer.add_char buf (Char.chr v)
+
+let u16 buf v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Scion_header: u16 out of range";
+  Buffer.add_char buf (Char.chr (v lsr 8));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let u24 buf v =
+  if v < 0 || v > 0xFFFFFF then invalid_arg "Scion_header: u24 out of range";
+  Buffer.add_char buf (Char.chr (v lsr 16));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Scion_header: u32 out of range";
+  u16 buf (v lsr 16);
+  u16 buf (v land 0xFFFF)
+
+let u48 buf v =
+  if v < 0 || v > 0xFFFFFFFFFFFF then invalid_arg "Scion_header: u48 out of range";
+  u24 buf (v lsr 24);
+  u24 buf (v land 0xFFFFFF)
+
+let f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+(* Signed 24-bit field for link ids, which use -1 as "none". *)
+let link24 buf v =
+  if v < -1 || v > 0xFFFFFE then invalid_arg "Scion_header: link id out of range";
+  u24 buf (if v = -1 then 0xFFFFFF else v)
+
+let bytes_fixed buf s n =
+  if String.length s <> n then invalid_arg "Scion_header: bad raw address length";
+  Buffer.add_string buf s
+
+(* --- Readers --- *)
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n = if c.pos + n > String.length c.data then raise (Bad "truncated header")
+
+let r_u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+(* Explicit lets: OCaml evaluates operator arguments right-to-left, so
+   [(r_u8 c lsl 8) lor r_u8 c] would read the bytes in reverse order. *)
+let r_u16 c =
+  let hi = r_u8 c in
+  let lo = r_u8 c in
+  (hi lsl 8) lor lo
+
+let r_u24 c =
+  let hi = r_u16 c in
+  let lo = r_u8 c in
+  (hi lsl 8) lor lo
+
+let r_u32 c =
+  let hi = r_u16 c in
+  let lo = r_u16 c in
+  (hi lsl 16) lor lo
+
+let r_u48 c =
+  let hi = r_u24 c in
+  let lo = r_u24 c in
+  (hi lsl 24) lor lo
+
+let r_f64 c =
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (r_u8 c))
+  done;
+  Int64.float_of_bits !bits
+
+let r_link24 c =
+  let v = r_u24 c in
+  if v = 0xFFFFFF then -1 else v
+
+let r_bytes c n =
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* --- Addresses --- *)
+
+let w_host buf = function
+  | Id.Ipv4 v ->
+      u8 buf 1;
+      u32 buf (Int32.to_int (Int32.logand v 0xFFFFFFFFl) land 0xFFFFFFFF)
+  | Id.Ipv6 raw ->
+      u8 buf 2;
+      bytes_fixed buf raw 16
+  | Id.Mac raw ->
+      u8 buf 3;
+      bytes_fixed buf raw 6
+
+let r_host c =
+  match r_u8 c with
+  | 1 -> Id.Ipv4 (Int32.of_int (r_u32 c))
+  | 2 -> Id.Ipv6 (r_bytes c 16)
+  | 3 -> Id.Mac (r_bytes c 6)
+  | t -> raise (Bad (Printf.sprintf "unknown host address type %d" t))
+
+let w_endpoint buf (e : Id.endpoint) =
+  u16 buf e.Id.host_ia.Id.isd;
+  u48 buf e.Id.host_ia.Id.asn;
+  w_host buf e.Id.local
+
+let r_endpoint c =
+  let isd = r_u16 c in
+  let asn = r_u48 c in
+  let local = r_host c in
+  { Id.host_ia = Id.ia isd asn; local }
+
+(* --- Path --- *)
+
+let combination_tag = function
+  | Fwd_path.Up_only -> 0
+  | Fwd_path.Down_only -> 1
+  | Fwd_path.Core_only -> 2
+  | Fwd_path.Up_core -> 3
+  | Fwd_path.Core_down -> 4
+  | Fwd_path.Up_down -> 5
+  | Fwd_path.Up_core_down -> 6
+  | Fwd_path.Shortcut -> 7
+  | Fwd_path.Peering_shortcut -> 8
+
+let combination_of_tag = function
+  | 0 -> Fwd_path.Up_only
+  | 1 -> Fwd_path.Down_only
+  | 2 -> Fwd_path.Core_only
+  | 3 -> Fwd_path.Up_core
+  | 4 -> Fwd_path.Core_down
+  | 5 -> Fwd_path.Up_down
+  | 6 -> Fwd_path.Up_core_down
+  | 7 -> Fwd_path.Shortcut
+  | 8 -> Fwd_path.Peering_shortcut
+  | t -> raise (Bad (Printf.sprintf "unknown path combination tag %d" t))
+
+let w_proof buf (p : Segment.hop_field) =
+  u32 buf p.Segment.as_idx;
+  u16 buf p.Segment.ingress;
+  u16 buf p.Segment.egress;
+  link24 buf p.Segment.link_in;
+  link24 buf p.Segment.link_out;
+  u8 buf (Array.length p.Segment.peers);
+  Array.iter (fun l -> u24 buf l) p.Segment.peers;
+  f64 buf p.Segment.expiry;
+  if String.length p.Segment.mac <> 6 then invalid_arg "Scion_header: MAC must be 6 bytes";
+  Buffer.add_string buf p.Segment.mac
+
+let r_proof c =
+  let as_idx = r_u32 c in
+  let ingress = r_u16 c in
+  let egress = r_u16 c in
+  let link_in = r_link24 c in
+  let link_out = r_link24 c in
+  let n_peers = r_u8 c in
+  let peers = Array.init n_peers (fun _ -> r_u24 c) in
+  let expiry = r_f64 c in
+  let mac = r_bytes c 6 in
+  {
+    Segment.as_idx;
+    ingress;
+    egress;
+    link_in;
+    link_out;
+    peers;
+    expiry;
+    mac;
+  }
+
+let w_crossing buf (cr : Fwd_path.crossing) =
+  u32 buf cr.Fwd_path.as_idx;
+  u16 buf cr.Fwd_path.in_if;
+  u16 buf cr.Fwd_path.out_if;
+  link24 buf cr.Fwd_path.in_link;
+  link24 buf cr.Fwd_path.out_link;
+  u8 buf (List.length cr.Fwd_path.proofs);
+  List.iter (w_proof buf) cr.Fwd_path.proofs
+
+let r_crossing c =
+  let as_idx = r_u32 c in
+  let in_if = r_u16 c in
+  let out_if = r_u16 c in
+  let in_link = r_link24 c in
+  let out_link = r_link24 c in
+  let n = r_u8 c in
+  let proofs = List.init n (fun _ -> r_proof c) in
+  { Fwd_path.as_idx; in_if; out_if; in_link; out_link; proofs }
+
+let encode h =
+  let buf = Buffer.create 128 in
+  u8 buf version;
+  u16 buf h.payload_len;
+  w_endpoint buf h.src;
+  w_endpoint buf h.dst;
+  u8 buf (combination_tag h.path.Fwd_path.combination);
+  u8 buf (Array.length h.path.Fwd_path.crossings);
+  Array.iter (w_crossing buf) h.path.Fwd_path.crossings;
+  u8 buf (Array.length h.path.Fwd_path.links);
+  Array.iter (fun l -> u24 buf l) h.path.Fwd_path.links;
+  Buffer.contents buf
+
+let decode s =
+  try
+    let c = { data = s; pos = 0 } in
+    let v = r_u8 c in
+    if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
+    let payload_len = r_u16 c in
+    let src = r_endpoint c in
+    let dst = r_endpoint c in
+    let combination = combination_of_tag (r_u8 c) in
+    let n_cross = r_u8 c in
+    let crossings = Array.init n_cross (fun _ -> r_crossing c) in
+    let n_links = r_u8 c in
+    let links = Array.init n_links (fun _ -> r_u24 c) in
+    if c.pos <> String.length s then raise (Bad "trailing bytes");
+    Ok { src; dst; payload_len; path = { Fwd_path.crossings; links; combination } }
+  with Bad msg -> Error msg
+
+let encoded_size h = String.length (encode h)

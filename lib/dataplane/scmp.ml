@@ -1,0 +1,17 @@
+type message = { kind : kind; origin_as : int; at : float }
+
+and kind =
+  | Link_failure of { link : int }
+  | Path_expired
+  | Destination_unreachable
+
+let wire_bytes _ = 16 + 64
+
+let pp fmt m =
+  let kind_s =
+    match m.kind with
+    | Link_failure { link } -> Printf.sprintf "link-failure(%d)" link
+    | Path_expired -> "path-expired"
+    | Destination_unreachable -> "destination-unreachable"
+  in
+  Format.fprintf fmt "SCMP[%s from AS %d at %.0f]" kind_s m.origin_as m.at

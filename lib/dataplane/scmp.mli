@@ -1,0 +1,22 @@
+(** SCION Control Message Protocol messages (§4.1).
+
+    A border router observing a failed link notifies affected sources
+    with an SCMP message; endpoints immediately switch to an alternate
+    path not containing the failed link. *)
+
+type message = {
+  kind : kind;
+  origin_as : int;  (** AS of the reporting border router *)
+  at : float;
+}
+
+and kind =
+  | Link_failure of { link : int }
+  | Path_expired
+  | Destination_unreachable
+
+val wire_bytes : message -> int
+(** SCMP messages are small (64-byte quote of the offending packet plus
+    a fixed header). *)
+
+val pp : Format.formatter -> message -> unit

@@ -1,0 +1,95 @@
+type entry = { prefix : int32; prefix_len : int; as_idx : int }
+
+type stats = {
+  packets_encapsulated : int;
+  encapsulation_overhead_bytes : int;
+  no_mapping_drops : int;
+}
+
+type t = {
+  cs : Control_service.t;
+  net : Forwarding.network;
+  local_as : int;
+  mutable asmap : entry list; (* kept sorted by descending prefix length *)
+  endpoints : (int, Endpoint.t) Hashtbl.t; (* per remote AS *)
+  mutable packets_encapsulated : int;
+  mutable encapsulation_overhead_bytes : int;
+  mutable no_mapping_drops : int;
+}
+
+let create cs net ~local_as =
+  {
+    cs;
+    net;
+    local_as;
+    asmap = [];
+    endpoints = Hashtbl.create 16;
+    packets_encapsulated = 0;
+    encapsulation_overhead_bytes = 0;
+    no_mapping_drops = 0;
+  }
+
+let add_mapping t ~prefix ~prefix_len ~as_idx =
+  if prefix_len < 0 || prefix_len > 32 then
+    invalid_arg "Sig_gateway.add_mapping: prefix length outside [0, 32]";
+  t.asmap <-
+    List.sort
+      (fun a b -> compare b.prefix_len a.prefix_len)
+      ({ prefix; prefix_len; as_idx } :: t.asmap)
+
+let matches ip e =
+  if e.prefix_len = 0 then true
+  else begin
+    let shift = 32 - e.prefix_len in
+    Int32.shift_right_logical ip shift
+    = Int32.shift_right_logical e.prefix shift
+  end
+
+let lookup t ip =
+  match List.find_opt (matches ip) t.asmap with
+  | Some e -> Some e.as_idx
+  | None -> None
+
+(* Common header (12) + src/dst IA + host addresses (24) + per-segment
+   info fields and 12-byte hop fields, approximating the SCION header
+   layout. *)
+let scion_header_bytes ~path_hops = 12 + 24 + 8 + (12 * path_hops)
+
+type send_error =
+  | No_mapping
+  | No_path
+  | Forwarding_failed of Forwarding.result
+
+let endpoint t remote =
+  match Hashtbl.find_opt t.endpoints remote with
+  | Some e -> e
+  | None ->
+      let e = Endpoint.create t.cs t.net ~src:t.local_as ~dst:remote in
+      Hashtbl.replace t.endpoints remote e;
+      e
+
+let send_ip t ~now ~dst_ip ~payload_bytes =
+  match lookup t dst_ip with
+  | None ->
+      t.no_mapping_drops <- t.no_mapping_drops + 1;
+      Error No_mapping
+  | Some remote -> (
+      let ep = endpoint t remote in
+      match Endpoint.active_path ep with
+      | None -> Error No_path
+      | Some path -> (
+          let overhead = scion_header_bytes ~path_hops:(Fwd_path.length path) in
+          match Endpoint.send ep ~payload_bytes:(payload_bytes + overhead) ~now () with
+          | Forwarding.Delivered _ as r ->
+              t.packets_encapsulated <- t.packets_encapsulated + 1;
+              t.encapsulation_overhead_bytes <-
+                t.encapsulation_overhead_bytes + overhead;
+              Ok r
+          | other -> Error (Forwarding_failed other)))
+
+let stats t =
+  {
+    packets_encapsulated = t.packets_encapsulated;
+    encapsulation_overhead_bytes = t.encapsulation_overhead_bytes;
+    no_mapping_drops = t.no_mapping_drops;
+  }

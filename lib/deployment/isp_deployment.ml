@@ -1,0 +1,75 @@
+type underlay =
+  | Native_cross_connect
+  | Router_on_a_stick of { host_routes : bool }
+  | Ip_tunnel
+
+type link_deployment = {
+  link : int;
+  underlay : underlay;
+  queueing_discipline : bool;
+}
+
+let bgp_free d =
+  match d.underlay with
+  | Native_cross_connect -> true
+  | Router_on_a_stick { host_routes } -> host_routes
+  | Ip_tunnel -> false
+
+let congestion_safe d =
+  match d.underlay with
+  | Native_cross_connect -> true
+  | Router_on_a_stick _ | Ip_tunnel -> d.queueing_discipline
+
+type plan = link_deployment list
+
+let uniform_plan g underlay =
+  List.init (Graph.num_links g) (fun link ->
+      { link; underlay; queueing_discipline = underlay <> Native_cross_connect })
+
+let survives d ~bgp_failed ~ip_flood =
+  (not (bgp_failed && not (bgp_free d))) && not (ip_flood && not (congestion_safe d))
+
+let surviving_links plan ~bgp_failed ~ip_flood =
+  List.filter_map
+    (fun d -> if survives d ~bgp_failed ~ip_flood then Some d.link else None)
+    plan
+
+let components_over g links =
+  let n = Graph.n g in
+  let parent = Array.init n (fun i -> i) in
+  let rec find x = if parent.(x) = x then x else begin
+      parent.(x) <- find parent.(x);
+      parent.(x)
+    end
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then parent.(rx) <- ry
+  in
+  List.iter
+    (fun l ->
+      let lk = Graph.link g l in
+      union lk.Graph.a lk.Graph.b)
+    links;
+  let roots = Hashtbl.create 8 in
+  for v = 0 to n - 1 do
+    let r = find v in
+    Hashtbl.replace roots r (1 + Option.value ~default:0 (Hashtbl.find_opt roots r))
+  done;
+  Hashtbl.fold (fun _ size acc -> size :: acc) roots []
+
+let scion_connected g plan ~bgp_failed ~ip_flood =
+  let links = surviving_links plan ~bgp_failed ~ip_flood in
+  match components_over g links with [ _ ] -> true | _ -> false
+
+let connectivity_under_bgp_failure g plan =
+  let links = surviving_links plan ~bgp_failed:true ~ip_flood:false in
+  let sizes = components_over g links in
+  let n = float_of_int (Graph.n g) in
+  if n < 2.0 then 1.0
+  else begin
+    let pairs =
+      List.fold_left (fun acc s -> acc +. (float_of_int s *. float_of_int (s - 1))) 0.0 sizes
+    in
+    pairs /. (n *. (n -. 1.0))
+  end

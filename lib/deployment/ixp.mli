@@ -1,0 +1,39 @@
+(** IXP deployment models (§3.5, Figure 4).
+
+    In the {e big switch} model the IXP stays invisible to the SCION
+    control plane and merely facilitates bilateral peering links among
+    its member ASes. In the {e exposed topology} model the IXP operates
+    one SCION AS per site, with inter-site links visible to the control
+    plane, so members can exploit the IXP's internal redundancy with
+    SCION multi-path and fast failover. Both models are implemented as
+    graph transformations. *)
+
+type member = { as_idx : int; site : int }
+(** A member AS and the IXP site it connects at. *)
+
+val big_switch :
+  Graph.t -> members:member list -> full_mesh:bool -> Graph.t
+(** Add bilateral peering links among members (all pairs when
+    [full_mesh], mimicking a peering coordinator; otherwise only pairs
+    meeting at the same site). The IXP itself does not appear. *)
+
+type exposed = {
+  graph : Graph.t;
+  site_as : int array;  (** new AS index of each IXP site *)
+}
+
+val exposed_topology :
+  Graph.t ->
+  members:member list ->
+  sites:int ->
+  inter_site_links:(int * int * int) list ->
+  isd:int ->
+  exposed
+(** Add one core AS per IXP site (owned by the IXP, in [isd]),
+    [inter_site_links] as [(site_a, site_b, parallel_count)] core
+    links, and a peering link from every member to its site AS. Raises
+    [Invalid_argument] on bad site indices. *)
+
+val member_pair_capacity : Graph.t -> int -> int -> int
+(** Max-flow between two member ASes — used to show the diversity gain
+    of exposing the IXP fabric. *)

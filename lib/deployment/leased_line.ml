@@ -1,0 +1,41 @@
+type scenario = { branches : int; data_centres : int; redundancy : int }
+
+let check s =
+  if s.branches < 0 || s.data_centres < 0 || s.redundancy < 1 then
+    invalid_arg "Leased_line: invalid scenario"
+
+let leased_lines_needed s =
+  check s;
+  s.branches * s.data_centres * s.redundancy
+
+let scion_connections_needed s =
+  check s;
+  (s.branches + s.data_centres) * s.redundancy
+
+type costs = {
+  leased_line_monthly : float;
+  scion_connection_monthly : float;
+  scion_equipment_once : float;
+}
+
+let monthly_saving s c =
+  (float_of_int (leased_lines_needed s) *. c.leased_line_monthly)
+  -. (float_of_int (scion_connections_needed s) *. c.scion_connection_monthly)
+
+let breakeven_months s c =
+  let saving = monthly_saving s c in
+  if saving <= 0.0 then None
+  else begin
+    let sites = float_of_int (s.branches + s.data_centres) in
+    Some (sites *. c.scion_equipment_once /. saving)
+  end
+
+let properties_match () =
+  [
+    ("geofencing (policy-compliant paths only)", true);
+    ("path transparency", true);
+    ("high reliability via fast failover", true);
+    ("flexibility for short-term changes", true);
+    ("short lead time (days, not months)", true);
+    ("dedicated physical capacity", false);
+  ]

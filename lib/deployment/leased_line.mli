@@ -1,0 +1,37 @@
+(** Leased-line replacement economics (§3.1).
+
+    Connecting [n] branches with [k] data centres needs [n * k] leased
+    lines (one per pair), but only [n + k] SCION connections — each
+    site buys one SCION attachment and reaches every other site over
+    the SCION network. With redundancy the gap widens further. *)
+
+type scenario = {
+  branches : int;
+  data_centres : int;
+  redundancy : int;  (** independent attachments per site, >= 1 *)
+}
+
+val leased_lines_needed : scenario -> int
+(** [branches * data_centres * redundancy]. *)
+
+val scion_connections_needed : scenario -> int
+(** [(branches + data_centres) * redundancy]. *)
+
+type costs = {
+  leased_line_monthly : float;  (** per line *)
+  scion_connection_monthly : float;  (** per attachment *)
+  scion_equipment_once : float;  (** CPE / servers per site *)
+}
+
+val monthly_saving : scenario -> costs -> float
+(** Leased-line total minus SCION total (positive = SCION cheaper). *)
+
+val breakeven_months : scenario -> costs -> float option
+(** Months until the one-off SCION equipment cost is recovered; [None]
+    if SCION never breaks even under the given prices. *)
+
+val properties_match : unit -> (string * bool) list
+(** The leased-line properties §3.1 says SCION approximates, with
+    whether the SCION production deployment provides each one
+    (geofencing, path transparency, reliability/fast failover,
+    flexibility for changes, short lead time). *)

@@ -1,0 +1,36 @@
+(** Convergence comparison (§5 note: "since there is no convergence
+    phase in SCION, we cannot compare to BGP's convergence time. SCION
+    path-segments are stable as soon as they are disseminated").
+
+    We quantify that asymmetry with the event-driven BGP simulator:
+    after initial convergence, fail a set of links one at a time and
+    measure (a) how long BGP takes to re-converge and how many updates
+    the exploration generates, and (b) what the same failure costs in
+    SCION — one SCMP notification per affected flow and an immediate
+    switch to an already-disseminated alternate path, with zero
+    control-plane messages. *)
+
+type failure_sample = {
+  link : int;
+  bgp_convergence_s : float;  (** quiescence time after the failure *)
+  bgp_updates : int;  (** updates + withdrawals during exploration *)
+  bgp_bytes : float;
+  scion_failover_s : float;
+      (** one-way SCMP delay + path switch at the endpoint *)
+  scion_control_messages : int;  (** always 0: no dissemination needed *)
+  scion_alternatives_ready : int;
+      (** disseminated paths avoiding the failed link, already in the
+          endpoint's possession *)
+}
+
+type result = {
+  initial_convergence_s : float;
+  initial_updates : int;
+  samples : failure_sample list;
+}
+
+val run : ?n_failures:int -> ?seed:int64 -> Exp_common.scale -> result
+(** Runs on the pruned core topology: BGP over the core graph (all-core
+    links as peering), SCION beaconing with the diversity algorithm. *)
+
+val print : result -> unit

@@ -1,0 +1,36 @@
+(** Figure 5: distribution of one-month control-plane overhead at the
+    monitors, relative to BGP, for BGPsec, SCION core beaconing
+    (baseline and diversity-based) and SCION intra-ISD beaconing.
+
+    BGP and BGPsec run on the full topology; SCION core beaconing runs
+    on the pruned core; intra-ISD beaconing runs on the large ISD. The
+    6-hour beaconing simulations are extrapolated to 30 days exactly as
+    in §5.2. *)
+
+type series = {
+  name : string;
+  ratios : float array;  (** per-monitor overhead relative to BGP *)
+  summary : Stats.five_number;
+}
+
+type result = {
+  scale : Exp_common.scale;
+  bgp_bytes : float array;  (** absolute monthly bytes per monitor *)
+  series : series list;
+  core_ases : int;
+  full_ases : int;
+  isd_ases : int;
+}
+
+val run :
+  ?diversity:Beacon_policy.div_params ->
+  ?beacon:Beaconing.config ->
+  Exp_common.scale ->
+  result
+(** [beacon] overrides the §5.1 beaconing configuration (used by the
+    bench harness to run shorter horizons). *)
+
+val print : result -> unit
+(** Paper-style rows: one series per protocol with the five-number
+    summary of the per-monitor ratio distribution, plus the Q3
+    headline checks (orders of magnitude). *)

@@ -1,0 +1,27 @@
+(** Latency-aware path construction (§4.2, "Optimizing for other
+    Criteria" — implemented here as the paper leaves it for future
+    work).
+
+    On the core topology with geo-derived link latencies, compare the
+    best (lowest-latency) disseminated path per AS pair under the
+    baseline, the diversity algorithm, and the latency-aware variant,
+    against the true latency optimum (Dijkstra). Reported as latency
+    stretch = best stored / optimal. *)
+
+type algo_result = {
+  name : string;
+  stretch : float array;  (** per sampled pair; [infinity] if no path *)
+  mean_stretch : float;
+  p95_stretch : float;
+  overhead_bytes : float;
+}
+
+type result = {
+  scale : Exp_common.scale;
+  pairs : (int * int) array;
+  algos : algo_result list;
+}
+
+val run : ?beacon:Beaconing.config -> Exp_common.scale -> result
+
+val print : result -> unit

@@ -1,0 +1,21 @@
+(** Appendix B: SCIONLab testbed evaluation (Figures 7, 8, 9).
+
+    On the 21-core-AS SCIONLab-like topology we compare the measured
+    path set (the testbed's current algorithm, modelled as the baseline
+    with storage limit 5 — Appendix B notes the close match) against
+    the baseline and the diversity algorithm at storage limits 5, 10,
+    15 and 60, plus the optimum; and report the per-interface beaconing
+    bandwidth distribution. *)
+
+type algo = { name : string; flows : int array }
+
+type result = {
+  pairs : (int * int) array;  (** all core AS pairs *)
+  optimum : int array;
+  algos : algo list;
+  iface_bps : float array;  (** Fig. 9: Bps per core interface, baseline(5) *)
+}
+
+val run : ?diversity:Beacon_policy.div_params -> unit -> result
+
+val print : result -> unit

@@ -1,0 +1,199 @@
+type scope = As_scope | Isd_scope | Global_scope
+
+type frequency = Hours | Minutes | Seconds
+
+type component = {
+  name : string;
+  scope : scope;
+  frequency : frequency;
+  rationale : string;
+}
+
+let components =
+  [
+    {
+      name = "Core Beaconing";
+      scope = Global_scope;
+      frequency = Minutes;
+      rationale = "selective flooding among all core ASes, every beaconing interval";
+    };
+    {
+      name = "Intra-ISD Beaconing";
+      scope = Isd_scope;
+      frequency = Minutes;
+      rationale = "uni-directional dissemination along provider-customer links";
+    };
+    {
+      name = "Down-Path Segment Lookup";
+      scope = Global_scope;
+      frequency = Hours;
+      rationale = "unicast fetch, amortised by caching and long segment lifetimes";
+    };
+    {
+      name = "Core-Path Segment Lookup";
+      scope = Isd_scope;
+      frequency = Hours;
+      rationale = "fetched from a core AS inside the own ISD";
+    };
+    {
+      name = "Endpoint Path Lookup";
+      scope = As_scope;
+      frequency = Seconds;
+      rationale = "local query to the AS's own path server";
+    };
+    {
+      name = "Path (De-)Registration";
+      scope = Isd_scope;
+      frequency = Minutes;
+      rationale = "leaf ASes register segments at the ISD core every tens of minutes";
+    };
+    {
+      name = "Path Revocation";
+      scope = Isd_scope;
+      frequency = Hours;
+      rationale = "only on link failures; SCMP informs affected endpoints";
+    };
+  ]
+
+let check b = if b then "x" else ""
+
+let render () =
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.name;
+          check (c.scope = As_scope);
+          check (c.scope = Isd_scope);
+          check (c.scope = Global_scope);
+          check (c.frequency = Hours);
+          check (c.frequency = Minutes);
+          check (c.frequency = Seconds);
+        ])
+      components
+  in
+  Table.render
+    ~header:[ "SCION Control Plane Component"; "AS"; "ISD"; "Global"; "Hours"; "Minutes"; "Seconds" ]
+    ~rows
+
+type measured = { component : string; messages : float; bytes : float }
+
+(* Links between two core ASes become core links, so the ISD carries
+   both levels of the beaconing hierarchy. *)
+let coreify g =
+  let b = Graph.builder () in
+  for v = 0 to Graph.n g - 1 do
+    let info = Graph.as_info g v in
+    ignore
+      (Graph.add_as b ~tier:info.Graph.tier ~cities:info.Graph.cities
+         ~core:info.Graph.core info.Graph.ia)
+  done;
+  for l = 0 to Graph.num_links g - 1 do
+    let lk = Graph.link g l in
+    let rel =
+      if Graph.is_core g lk.Graph.a && Graph.is_core g lk.Graph.b then Graph.Core
+      else lk.Graph.rel
+    in
+    Graph.add_link b ~rel lk.Graph.a lk.Graph.b
+  done;
+  Graph.freeze b
+
+let measure scale =
+  let prepared = Exp_common.prepare scale in
+  let cfg = Exp_common.beacon_config in
+  (* A shorter horizon suffices to ground the taxonomy. *)
+  let cfg = { cfg with Beaconing.duration = cfg.Beaconing.interval *. 8.0 } in
+  let g = coreify prepared.Exp_common.isd in
+  let core_out = Beaconing.run g { cfg with Beaconing.scope = Beaconing.Core_beaconing } in
+  let intra_out = Beaconing.run g { cfg with Beaconing.scope = Beaconing.Intra_isd } in
+  let cs = Control_service.build ~core:core_out ~intra:intra_out () in
+  let rng = Rng.create 0xAB1EL in
+  (* Zipf-popular destinations (§4.1): endpoints in random ASes resolve
+     paths towards popular leaf ASes. *)
+  let zipf = Zipf.create ~n:(Graph.n g) ~s:1.1 in
+  let endpoint_lookups = ref 0 in
+  let resolved_paths = ref 0 in
+  for _ = 1 to 200 do
+    let src = Rng.int rng (Graph.n g) in
+    let dst = Zipf.sample zipf rng in
+    if src <> dst then begin
+      incr endpoint_lookups;
+      resolved_paths := !resolved_paths + List.length (Control_service.resolve cs ~src ~dst)
+    end
+  done;
+  (* One link failure: revoke affected segments. *)
+  let failed_link = Graph.num_links g / 2 in
+  let revoked = Control_service.revoke_link cs ~link:failed_link in
+  (* Aggregate path-server stats over all core path servers. *)
+  let agg =
+    List.fold_left
+      (fun acc c ->
+        match Control_service.core_path_server cs c with
+        | None -> acc
+        | Some p ->
+            let s = Path_server.stats p in
+            ( (let a, b, c', d, e, f = acc in
+               ( a + s.Path_server.registrations,
+                 b + s.Path_server.registration_bytes,
+                 c' + s.Path_server.lookups_down,
+                 d + s.Path_server.reply_segments_down,
+                 e + s.Path_server.lookups_core,
+                 f + s.Path_server.reply_segments_core )) ))
+      (0, 0, 0, 0, 0, 0)
+      (Graph.core_ases g)
+  in
+  let regs, reg_bytes, lk_down, rep_down, lk_core, rep_core = agg in
+  let seg_bytes = float_of_int (Wire.pcb_bytes ~hops:4 ~signature_bytes:96) in
+  let fi = float_of_int in
+  [
+    {
+      component = "Core Beaconing";
+      messages = fi core_out.Beaconing.stats.Beaconing.total_pcbs;
+      bytes = core_out.Beaconing.stats.Beaconing.total_bytes;
+    };
+    {
+      component = "Intra-ISD Beaconing";
+      messages = fi intra_out.Beaconing.stats.Beaconing.total_pcbs;
+      bytes = intra_out.Beaconing.stats.Beaconing.total_bytes;
+    };
+    {
+      component = "Down-Path Segment Lookup";
+      messages = fi lk_down;
+      bytes = fi rep_down *. seg_bytes;
+    };
+    {
+      component = "Core-Path Segment Lookup";
+      messages = fi lk_core;
+      bytes = fi rep_core *. seg_bytes;
+    };
+    {
+      component = "Endpoint Path Lookup";
+      messages = fi !endpoint_lookups;
+      bytes = fi !resolved_paths *. 64.0;
+    };
+    {
+      component = "Path (De-)Registration";
+      messages = fi regs;
+      bytes = fi reg_bytes;
+    };
+    {
+      component = "Path Revocation";
+      messages = fi revoked;
+      bytes = fi revoked *. 80.0;
+    };
+  ]
+
+let print ?measured () =
+  print_string (render ());
+  match measured with
+  | None -> ()
+  | Some rows ->
+      print_newline ();
+      print_endline "Measured per-component traffic (short end-to-end simulation):";
+      Table.print
+        ~header:[ "Component"; "Messages"; "Bytes" ]
+        ~rows:
+          (List.map
+             (fun m ->
+               [ m.component; Printf.sprintf "%.0f" m.messages; Printf.sprintf "%.3g" m.bytes ])
+             rows)

@@ -1,0 +1,113 @@
+type objective = {
+  params : Beacon_policy.div_params;
+  overhead_bytes : float;
+  capacity_fraction : float;
+  connectivity : float;
+  score : float;
+}
+
+let evaluate ?(duration_rounds = 24) ?(lifetime_rounds = 12) g params =
+  let cfg =
+    {
+      Exp_common.beacon_config with
+      Beaconing.algorithm = Beacon_policy.Diversity params;
+      Beaconing.duration = 600.0 *. float_of_int duration_rounds;
+      Beaconing.lifetime = 600.0 *. float_of_int lifetime_rounds;
+    }
+  in
+  let out = Beaconing.run g cfg in
+  let now = cfg.Beaconing.duration -. 1.0 in
+  let n = Graph.n g in
+  (* Connectivity: every AS should hold a valid path to every origin. *)
+  let have = ref 0 and want = ref 0 in
+  for v = 0 to n - 1 do
+    for o = 0 to n - 1 do
+      if o <> v then begin
+        incr want;
+        if Beacon_store.paths out.Beaconing.stores.(v) ~now ~origin:o <> [] then incr have
+      end
+    done
+  done;
+  let connectivity = float_of_int !have /. float_of_int (max 1 !want) in
+  (* Capacity fraction over a fixed sample of pairs. *)
+  let pairs = Exp_common.sample_pairs g ~count:40 ~seed:0x7E57L in
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iter
+    (fun (s, d) ->
+      let opt = Path_quality.optimum g ~src:s ~dst:d in
+      if opt > 0 then begin
+        let pcbs = Beacon_store.paths out.Beaconing.stores.(s) ~now ~origin:d in
+        let f = Path_quality.of_pcbs g pcbs ~src:s ~dst:d in
+        num := !num +. float_of_int f;
+        den := !den +. float_of_int opt
+      end)
+    pairs;
+  let capacity_fraction = if !den = 0.0 then 0.0 else !num /. !den in
+  let overhead_bytes = out.Beaconing.stats.Beaconing.total_bytes in
+  (* Composite: §4.2's objectives. Losing connectivity is
+     disqualifying; otherwise trade path quality against bandwidth. *)
+  let score =
+    if connectivity < 0.999 then connectivity -. 10.0
+    else capacity_fraction -. (0.08 *. log10 (max 1.0 overhead_bytes))
+  in
+  { params; overhead_bytes; capacity_fraction; connectivity; score }
+
+let candidates_stage1 =
+  let base = Beacon_policy.default_div_params in
+  List.concat_map
+    (fun alpha ->
+      List.concat_map
+        (fun beta ->
+          List.concat_map
+            (fun gamma ->
+              List.map
+                (fun threshold ->
+                  { base with Beacon_policy.alpha; beta; gamma; threshold })
+                [ 0.05; 0.15; 0.45 ])
+            [ 2.0; 4.0; 8.0 ])
+        [ 1.0; 2.0; 4.0 ])
+    [ 5.0; 20.0; 80.0 ]
+
+let refine (p : Beacon_policy.div_params) =
+  List.concat_map
+    (fun alpha ->
+      List.concat_map
+        (fun beta ->
+          List.concat_map
+            (fun gamma ->
+              List.map
+                (fun threshold ->
+                  { p with Beacon_policy.alpha; beta; gamma; threshold })
+                [ p.Beacon_policy.threshold *. 0.7; p.Beacon_policy.threshold; p.Beacon_policy.threshold *. 1.3 ])
+            [ p.Beacon_policy.gamma -. 1.0; p.Beacon_policy.gamma; p.Beacon_policy.gamma +. 1.0 ])
+        [ p.Beacon_policy.beta *. 0.75; p.Beacon_policy.beta; p.Beacon_policy.beta *. 1.25 ])
+    [ p.Beacon_policy.alpha *. 0.5; p.Beacon_policy.alpha; p.Beacon_policy.alpha *. 1.5 ]
+
+let best_of ?(verbose = false) ?duration_rounds ?lifetime_rounds g cands =
+  List.fold_left
+    (fun acc p ->
+      let o = evaluate ?duration_rounds ?lifetime_rounds g p in
+      if verbose then
+        Printf.printf
+          "  alpha=%-5.1f beta=%-5.2f gamma=%-4.1f thr=%-5.3f -> conn=%.3f cap=%.3f bytes=%.3g score=%.3f\n%!"
+          p.Beacon_policy.alpha p.Beacon_policy.beta p.Beacon_policy.gamma
+          p.Beacon_policy.threshold o.connectivity o.capacity_fraction
+          o.overhead_bytes o.score;
+      match acc with
+      | Some best when best.score >= o.score -> Some best
+      | _ -> Some o)
+    None cands
+
+let grid_search ?(verbose = false) ?duration_rounds ?lifetime_rounds g =
+  if verbose then print_endline "Stage 1: exponentially spaced grid";
+  let stage1 =
+    match best_of ~verbose ?duration_rounds ?lifetime_rounds g candidates_stage1 with
+    | Some o -> o
+    | None -> invalid_arg "Tuning.grid_search: empty candidate set"
+  in
+  if verbose then print_endline "Stage 2: linear refinement around the winner";
+  match
+    best_of ~verbose ?duration_rounds ?lifetime_rounds g (refine stage1.params)
+  with
+  | Some o when o.score > stage1.score -> o
+  | _ -> stage1

@@ -1,0 +1,25 @@
+(** Two-stage parameter search for the diversity algorithm (§4.2).
+
+    The paper selects α, β, γ and the score threshold per topology "by
+    first performing a grid search with exponentially spaced values…
+    followed by a grid search with linearly spaced values". The
+    objective encodes §4.2's three goals: preserve connectivity,
+    discover diverse paths, save bandwidth. *)
+
+type objective = {
+  params : Beacon_policy.div_params;
+  overhead_bytes : float;
+  capacity_fraction : float;  (** achieved/optimal max-flow over pairs *)
+  connectivity : float;  (** fraction of (AS, origin) with a valid path *)
+  score : float;  (** composite; higher is better *)
+}
+
+val evaluate :
+  ?duration_rounds:int -> ?lifetime_rounds:int -> Graph.t -> Beacon_policy.div_params -> objective
+(** Run diversity beaconing with a deliberately short PCB lifetime so
+    refresh behaviour is exercised, then score the outcome. *)
+
+val grid_search :
+  ?verbose:bool -> ?duration_rounds:int -> ?lifetime_rounds:int -> Graph.t -> objective
+(** Exponential stage over (α, β, γ, threshold), then a linear
+    refinement around the winner. Deterministic. *)

@@ -1,0 +1,51 @@
+(** The control service: glue between beaconing outcomes and the path
+    lookup infrastructure (§2.2).
+
+    After core and intra-ISD beaconing have run, every AS's beacon
+    store holds PCBs. The control service terminates them into path
+    segments, registers down-path segments at the core path server of
+    their origin AS and core-path segments at the local core AS's path
+    server, and resolves end-to-end paths on behalf of endpoints:
+    up-segments from the local store, core- and down-segments fetched
+    from path servers (with caching at the local server). *)
+
+type t
+
+val build :
+  ?now:float ->
+  core:Beaconing.outcome ->
+  intra:Beaconing.outcome ->
+  unit ->
+  t
+(** Both outcomes must be runs over the {e same} graph (core beaconing
+    over core links, intra-ISD beaconing over provider–customer links).
+    [now] defaults to the end of the beaconing runs. Raises
+    [Invalid_argument] if the graphs differ. *)
+
+val build_intra_only : ?now:float -> Beaconing.outcome -> t
+(** Single-ISD network: no core segments, paths combine up- and
+    down-segments at shared core ASes plus shortcuts. *)
+
+val graph : t -> Graph.t
+
+val keys : t -> Fwd_keys.t
+(** The forwarding-key registry routers validate hop fields against. *)
+
+val up_segments : t -> src:int -> Segment.t list
+(** The AS's own up-path segments (local control-service query). *)
+
+val resolve : t -> src:int -> dst:int -> Fwd_path.t list
+(** Full path resolution for an endpoint in [src] towards [dst]:
+    fetches core segments (from the local ISD core) and down segments
+    (from the destination's registering core ASes), combines, and
+    returns paths sorted by length. Lookup traffic is accounted in the
+    underlying path servers' stats. *)
+
+val revoke_link : t -> link:int -> int
+(** Propagate a link failure: revoke affected segments at every path
+    server (§4.1). Returns total segments revoked. *)
+
+val core_path_server : t -> int -> Path_server.t option
+(** The path server of a core AS, if that AS is core. *)
+
+val now : t -> float

@@ -1,0 +1,18 @@
+type t = { keys : (int, string) Hashtbl.t; mutable generation : int }
+
+let create () = { keys = Hashtbl.create 64; generation = 0 }
+
+let derive generation v =
+  Sha256.digest (Printf.sprintf "scion-fwd-key:%d:%d" generation v)
+
+let key t v =
+  match Hashtbl.find_opt t.keys v with
+  | Some k -> k
+  | None ->
+      let k = derive 0 v in
+      Hashtbl.replace t.keys v k;
+      k
+
+let rotate t v =
+  t.generation <- t.generation + 1;
+  Hashtbl.replace t.keys v (derive t.generation v)

@@ -1,0 +1,100 @@
+type params = {
+  n_destinations : int;
+  zipf_s : float;
+  requests : int;
+  client_ases : int;
+  cache : bool;
+  segment_lifetime : float;
+  request_rate : float;
+  segments_per_reply : int;
+  seed : int64;
+}
+
+let default_params =
+  {
+    n_destinations = 1000;
+    zipf_s = 1.1;
+    requests = 50_000;
+    client_ases = 20;
+    cache = true;
+    segment_lifetime = 21_600.0;
+    request_rate = 10.0;
+    segments_per_reply = 5;
+    seed = 0x100C07L;
+  }
+
+type result = {
+  params : params;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate : float;
+  upstream_messages : int;
+  upstream_bytes : float;
+  expired_evictions : int;
+}
+
+let run p =
+  if p.n_destinations < 1 || p.requests < 0 || p.client_ases < 1 then
+    invalid_arg "Lookup_sim.run: invalid parameters";
+  let rng = Rng.create p.seed in
+  let zipf = Zipf.create ~n:p.n_destinations ~s:p.zipf_s in
+  (* Per client AS: destination -> cached-until. *)
+  let caches = Array.init p.client_ases (fun _ -> Hashtbl.create 256) in
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+  let upstream_bytes = ref 0.0 in
+  let reply_bytes =
+    float_of_int
+      (16 + (p.segments_per_reply * Wire.pcb_bytes ~hops:4 ~signature_bytes:96))
+  in
+  let query_bytes = 64.0 in
+  for i = 0 to p.requests - 1 do
+    let now = float_of_int i /. p.request_rate in
+    let client = Rng.int rng p.client_ases in
+    let dst = Zipf.sample zipf rng in
+    let cached =
+      p.cache
+      &&
+      match Hashtbl.find_opt caches.(client) dst with
+      | Some until when now < until -> true
+      | Some _ ->
+          Hashtbl.remove caches.(client) dst;
+          incr evictions;
+          false
+      | None -> false
+    in
+    if cached then incr hits
+    else begin
+      incr misses;
+      upstream_bytes := !upstream_bytes +. query_bytes +. reply_bytes;
+      if p.cache then
+        Hashtbl.replace caches.(client) dst (now +. p.segment_lifetime)
+    end
+  done;
+  {
+    params = p;
+    cache_hits = !hits;
+    cache_misses = !misses;
+    hit_rate = (if p.requests = 0 then 0.0 else float_of_int !hits /. float_of_int p.requests);
+    upstream_messages = 2 * !misses;
+    upstream_bytes = !upstream_bytes;
+    expired_evictions = !evictions;
+  }
+
+let print_sweep results =
+  Table.print
+    ~header:
+      [ "zipf s"; "cache"; "requests"; "hit rate"; "upstream msgs"; "upstream bytes"; "msgs/request" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             Printf.sprintf "%.2f" r.params.zipf_s;
+             (if r.params.cache then "on" else "off");
+             string_of_int r.params.requests;
+             Printf.sprintf "%.1f%%" (100.0 *. r.hit_rate);
+             string_of_int r.upstream_messages;
+             Printf.sprintf "%.3g" r.upstream_bytes;
+             Printf.sprintf "%.3f"
+               (float_of_int r.upstream_messages /. float_of_int (max 1 r.params.requests));
+           ])
+         results)

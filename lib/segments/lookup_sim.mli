@@ -1,0 +1,42 @@
+(** Pull-based path-lookup simulation (§4.1, "Down-Path Segment
+    Lookup").
+
+    The paper argues the lookup infrastructure scales because (a)
+    fetches are unicast and amortised by data traffic, (b) segments
+    live for hours so caches stay warm, and (c) destination popularity
+    is Zipf-distributed, so a small cache covers most queries. This
+    simulator quantifies that: endpoints in client ASes resolve
+    Zipf-popular destination ASes through their local path server,
+    which caches fetched down-segments until expiry and otherwise asks
+    the destination's core path server. *)
+
+type params = {
+  n_destinations : int;
+  zipf_s : float;  (** popularity skew; ~1 for web-like traffic *)
+  requests : int;
+  client_ases : int;  (** each runs its own cache *)
+  cache : bool;
+  segment_lifetime : float;  (** seconds a cached segment stays valid *)
+  request_rate : float;  (** requests per second across all clients *)
+  segments_per_reply : int;
+  seed : int64;
+}
+
+val default_params : params
+(** 1 000 destinations, s = 1.1, 50 000 requests, 20 client ASes,
+    caching on, 6 h lifetimes, 10 req/s. *)
+
+type result = {
+  params : params;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate : float;
+  upstream_messages : int;  (** query + reply per miss *)
+  upstream_bytes : float;
+  expired_evictions : int;
+}
+
+val run : params -> result
+
+val print_sweep : result list -> unit
+(** One row per configuration: the Zipf-sweep table. *)

@@ -1,0 +1,137 @@
+type stats = {
+  registrations : int;
+  registration_bytes : int;
+  lookups_down : int;
+  lookups_core : int;
+  reply_segments_down : int;
+  reply_segments_core : int;
+  revocations : int;
+  revoked_segments : int;
+}
+
+type t = {
+  per_leaf_limit : int;
+  down : (int, (string, Segment.t) Hashtbl.t) Hashtbl.t;
+  core : (int, (string, Segment.t) Hashtbl.t) Hashtbl.t;
+  mutable registrations : int;
+  mutable registration_bytes : int;
+  mutable lookups_down : int;
+  mutable lookups_core : int;
+  mutable reply_segments_down : int;
+  mutable reply_segments_core : int;
+  mutable revocations : int;
+  mutable revoked_segments : int;
+}
+
+let create ?(per_leaf_limit = 60) () =
+  if per_leaf_limit < 1 then invalid_arg "Path_server.create: per_leaf_limit < 1";
+  {
+    per_leaf_limit;
+    down = Hashtbl.create 64;
+    core = Hashtbl.create 64;
+    registrations = 0;
+    registration_bytes = 0;
+    lookups_down = 0;
+    lookups_core = 0;
+    reply_segments_down = 0;
+    reply_segments_core = 0;
+    revocations = 0;
+    revoked_segments = 0;
+  }
+
+let seg_key (s : Segment.t) =
+  Printf.sprintf "%d|%s" s.Segment.origin (Pcb.path_key s.Segment.links)
+
+let bucket table idx =
+  match Hashtbl.find_opt table idx with
+  | Some b -> b
+  | None ->
+      let b = Hashtbl.create 8 in
+      Hashtbl.replace table idx b;
+      b
+
+let register t table ~idx ~now (s : Segment.t) =
+  if not (Segment.is_valid s ~now) then false
+  else begin
+    let b = bucket table idx in
+    let key = seg_key s in
+    let fresh = not (Hashtbl.mem b key) in
+    if fresh && Hashtbl.length b >= t.per_leaf_limit then false
+    else begin
+      Hashtbl.replace b key s;
+      t.registrations <- t.registrations + 1;
+      t.registration_bytes <- t.registration_bytes + Segment.registration_bytes s;
+      true
+    end
+  end
+
+let register_down t ~now s = register t t.down ~idx:s.Segment.leaf ~now s
+
+let register_core t ~now s = register t t.core ~idx:s.Segment.origin ~now s
+
+let lookup table ~now idx =
+  match Hashtbl.find_opt table idx with
+  | None -> []
+  | Some b ->
+      Hashtbl.fold
+        (fun _ s acc -> if Segment.is_valid s ~now then s :: acc else acc)
+        b []
+
+let lookup_down t ~now ~leaf =
+  let segs = lookup t.down ~now leaf in
+  t.lookups_down <- t.lookups_down + 1;
+  t.reply_segments_down <- t.reply_segments_down + List.length segs;
+  segs
+
+let lookup_core t ~now ~remote =
+  let segs = lookup t.core ~now remote in
+  t.lookups_core <- t.lookups_core + 1;
+  t.reply_segments_core <- t.reply_segments_core + List.length segs;
+  segs
+
+let deregister_leaf t ~leaf =
+  match Hashtbl.find_opt t.down leaf with
+  | None -> 0
+  | Some b ->
+      let n = Hashtbl.length b in
+      Hashtbl.remove t.down leaf;
+      n
+
+let revoke_link t ~link =
+  t.revocations <- t.revocations + 1;
+  let purge table =
+    let removed = ref 0 in
+    Hashtbl.iter
+      (fun _ b ->
+        let dead =
+          Hashtbl.fold
+            (fun key s acc -> if Segment.contains_link s link then key :: acc else acc)
+            b []
+        in
+        List.iter
+          (fun key ->
+            Hashtbl.remove b key;
+            incr removed)
+          dead)
+      table;
+    !removed
+  in
+  let n = purge t.down + purge t.core in
+  t.revoked_segments <- t.revoked_segments + n;
+  n
+
+let stats t =
+  {
+    registrations = t.registrations;
+    registration_bytes = t.registration_bytes;
+    lookups_down = t.lookups_down;
+    lookups_core = t.lookups_core;
+    reply_segments_down = t.reply_segments_down;
+    reply_segments_core = t.reply_segments_core;
+    revocations = t.revocations;
+    revoked_segments = t.revoked_segments;
+  }
+
+let total_segments t =
+  let count table = Hashtbl.fold (fun _ b acc -> acc + Hashtbl.length b) table 0 in
+  count t.down + count t.core

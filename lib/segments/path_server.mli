@@ -1,0 +1,50 @@
+(** Path servers (§2.2, "Path Segment Dissemination").
+
+    A core AS's path server stores the intra-ISD (down-path) segments
+    registered by the leaf ASes of its ISD and the core-path segments
+    its beacon server constructed. Lookups are pull-based; the
+    infrastructure resembles DNS, with caching at non-core path servers
+    and endpoints. *)
+
+type t
+
+val create : ?per_leaf_limit:int -> unit -> t
+(** [per_leaf_limit] caps registered segments per destination leaf AS
+    (default 60, matching the PCB storage limit in §5.1). *)
+
+val register_down : t -> now:float -> Segment.t -> bool
+(** Register a down-path segment under its leaf AS. Returns [false] if
+    it was a duplicate, expired, or rejected by the per-leaf cap.
+    Registration overhead is accounted in {!stats}. *)
+
+val register_core : t -> now:float -> Segment.t -> bool
+(** Register a core-path segment under its remote (origin) core AS. *)
+
+val lookup_down : t -> now:float -> leaf:int -> Segment.t list
+(** Valid down-path segments to [leaf]; counts one lookup. *)
+
+val lookup_core : t -> now:float -> remote:int -> Segment.t list
+(** Valid core-path segments to the remote core AS [remote]. *)
+
+val deregister_leaf : t -> leaf:int -> int
+(** Remove every segment registered for [leaf] (path de-registration,
+    §4.1). Returns the number removed. *)
+
+val revoke_link : t -> link:int -> int
+(** Path revocation (§4.1): drop all segments containing the failed
+    link. Returns the number of segments revoked. *)
+
+type stats = {
+  registrations : int;
+  registration_bytes : int;
+  lookups_down : int;
+  lookups_core : int;
+  reply_segments_down : int;
+  reply_segments_core : int;
+  revocations : int;
+  revoked_segments : int;
+}
+
+val stats : t -> stats
+
+val total_segments : t -> int

@@ -1,0 +1,108 @@
+type kind = Up | Down | Core_seg
+
+type hop_field = {
+  as_idx : int;
+  ingress : Id.iface;
+  egress : Id.iface;
+  link_in : int;
+  link_out : int;
+  peers : int array;
+  expiry : float;
+  mac : string;
+}
+
+type t = {
+  kind : kind;
+  origin : int;
+  leaf : int;
+  timestamp : float;
+  expiry : float;
+  hops : hop_field array;
+  links : int array;
+}
+
+let mac_payload ~as_idx ~if1 ~if2 ~expiry =
+  let lo = min if1 if2 and hi = max if1 if2 in
+  Printf.sprintf "hf|%d|%d|%d|%.0f" as_idx lo hi expiry
+
+let hop_mac keys ~as_idx ~if1 ~if2 ~expiry =
+  Hmac.truncated ~key:(Fwd_keys.key keys as_idx) ~length:6
+    (mac_payload ~as_idx ~if1 ~if2 ~expiry)
+
+let terminate g keys ~kind ~holder (pcb : Pcb.t) =
+  let nh = Array.length pcb.Pcb.hops in
+  if nh = 0 then invalid_arg "Segment.terminate: PCB has no hops";
+  let expiry = Pcb.expires_at pcb in
+  let field ~as_idx ~ingress ~egress ~link_in ~link_out ~peers =
+    {
+      as_idx;
+      ingress;
+      egress;
+      link_in;
+      link_out;
+      peers;
+      expiry;
+      mac = hop_mac keys ~as_idx ~if1:ingress ~if2:egress ~expiry;
+    }
+  in
+  let hops =
+    Array.init (nh + 1) (fun i ->
+        if i < nh then begin
+          let h = pcb.Pcb.hops.(i) in
+          let link_in = if i = 0 then -1 else pcb.Pcb.hops.(i - 1).Pcb.link in
+          field ~as_idx:h.Pcb.asn ~ingress:h.Pcb.ingress ~egress:h.Pcb.egress
+            ~link_in ~link_out:h.Pcb.link ~peers:h.Pcb.peers
+        end
+        else begin
+          (* Terminal entry for the holder, advertising its peering
+             links so peering shortcuts can end (or start) here. *)
+          let last = pcb.Pcb.hops.(nh - 1) in
+          let ingress = Graph.iface_of (Graph.link g last.Pcb.link) holder in
+          let peers =
+            Array.of_list
+              (List.filter_map
+                 (fun (h : Graph.half_link) ->
+                   if h.Graph.dir = Graph.To_peer then Some h.Graph.via else None)
+                 (Array.to_list (Graph.adj g holder)))
+          in
+          field ~as_idx:holder ~ingress ~egress:0 ~link_in:last.Pcb.link
+            ~link_out:(-1) ~peers
+        end)
+  in
+  {
+    kind;
+    origin = pcb.Pcb.origin;
+    leaf = holder;
+    timestamp = pcb.Pcb.timestamp;
+    expiry;
+    hops;
+    links = Array.copy pcb.Pcb.links;
+  }
+
+let verify_hop keys (hf : hop_field) ~now =
+  now < hf.expiry
+  && Hmac.verify
+       ~key:(Fwd_keys.key keys hf.as_idx)
+       ~tag:hf.mac
+       (mac_payload ~as_idx:hf.as_idx ~if1:hf.ingress ~if2:hf.egress
+          ~expiry:hf.expiry)
+
+let verify keys t ~now = Array.for_all (fun hf -> verify_hop keys hf ~now) t.hops
+
+let ases t = Array.to_list (Array.map (fun hf -> hf.as_idx) t.hops)
+
+let contains_link t l = Array.exists (fun x -> x = l) t.links
+
+let is_valid t ~now = now < t.expiry
+
+let reversed_ases t = List.rev (ases t)
+
+let registration_bytes t =
+  Wire.path_segment_registration_bytes ~hops:(Array.length t.hops)
+
+let pp fmt t =
+  let kind_s =
+    match t.kind with Up -> "up" | Down -> "down" | Core_seg -> "core"
+  in
+  Format.fprintf fmt "Seg[%s %d->%d via %s]" kind_s t.origin t.leaf
+    (String.concat "," (List.map string_of_int (ases t)))

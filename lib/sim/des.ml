@@ -1,0 +1,60 @@
+type event = { time : float; seq : int; action : t -> unit }
+
+and t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : event Heap.t;
+}
+
+let compare_event e1 e2 =
+  match compare e1.time e2.time with 0 -> compare e1.seq e2.seq | c -> c
+
+let create () = { clock = 0.0; next_seq = 0; queue = Heap.create ~cmp:compare_event }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Des.schedule_at: time is in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { time; seq; action }
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Des.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let every t ~interval ?start ?until action =
+  if interval <= 0.0 then invalid_arg "Des.every: interval must be positive";
+  let first = match start with Some s -> s | None -> t.clock +. interval in
+  let rec tick sim =
+    action sim;
+    let next = now sim +. interval in
+    match until with
+    | Some u when next > u -> ()
+    | _ -> schedule_at sim ~time:next tick
+  in
+  let skip = match until with Some u when first > u -> true | _ -> false in
+  if not skip then schedule_at t ~time:first tick
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      ev.action t;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some u ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | Some ev when ev.time <= u -> ignore (step t)
+        | _ ->
+            t.clock <- max t.clock u;
+            continue := false
+      done
+
+let pending t = Heap.length t.queue

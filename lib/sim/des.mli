@@ -1,0 +1,33 @@
+(** Deterministic discrete-event simulation engine.
+
+    Replaces the ns-3 core the paper's simulator is built on: a virtual
+    clock and a time-ordered event queue. Events scheduled for the same
+    instant fire in scheduling order, which keeps runs reproducible. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Raises
+    [Invalid_argument] for negative delays. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Absolute-time variant; the time must not be in the past. *)
+
+val every : t -> interval:float -> ?start:float -> ?until:float -> (t -> unit) -> unit
+(** Periodic event starting at [start] (default [interval] from now),
+    repeating until virtual time exceeds [until] (default: forever). *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue. With [until], stop once the next event lies
+    strictly beyond that time (the clock is then advanced to [until]). *)
+
+val step : t -> bool
+(** Execute one event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)

@@ -1,0 +1,27 @@
+type t = (string, float ref) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let cell t key =
+  match Hashtbl.find_opt t key with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.replace t key r;
+      r
+
+let add t key v =
+  let r = cell t key in
+  r := !r +. v
+
+let incr t key = add t key 1.0
+
+let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0.0
+
+let fold t ~init ~f = Hashtbl.fold (fun key r acc -> f acc key !r) t init
+
+let to_sorted_list t =
+  fold t ~init:[] ~f:(fun acc key v -> (key, v) :: acc)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t = Hashtbl.reset t

@@ -1,0 +1,21 @@
+(** Named measurement counters for experiment accounting. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> float -> unit
+(** Accumulate into a named counter (created on first use). *)
+
+val incr : t -> string -> unit
+(** [add t key 1.]. *)
+
+val get : t -> string -> float
+(** 0. for unknown counters. *)
+
+val fold : t -> init:'a -> f:('a -> string -> float -> 'a) -> 'a
+
+val to_sorted_list : t -> (string * float) list
+(** Counters sorted by name. *)
+
+val reset : t -> unit

@@ -1,0 +1,25 @@
+(** Geographic link latencies.
+
+    §4.2 notes that optimising paths for latency needs information
+    beyond interface identifiers — e.g. border-router locations or
+    latency measurements. The generator already places every AS in a
+    set of interconnection cities; this module derives deterministic
+    per-link propagation latencies from those locations: links between
+    ASes sharing a city are metro-length, others pay the great-circle
+    cost between representative cities. *)
+
+val city_position : int -> float * float
+(** Deterministic pseudo-position of a city id on a 10 000 × 10 000 km
+    plane (hash-based; no dataset required). *)
+
+val link_latency_ms : Graph.t -> int -> float
+(** One-way propagation latency of a link in milliseconds: 1 ms base
+    (metro hop) when the endpoints share a city, otherwise base plus
+    distance at 200 km/ms (fibre), plus a small deterministic per-link
+    spread so parallel links differ. Always positive. *)
+
+val latency_table : Graph.t -> float array
+(** [link_latency_ms] for every link, indexed by link id. *)
+
+val path_latency_ms : float array -> int array -> float
+(** Total latency of a link sequence against a latency table. *)

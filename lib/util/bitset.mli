@@ -1,0 +1,23 @@
+(** Fixed-capacity bitsets, used for customer-cone computation over the
+    provider–customer DAG. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over universe [\[0, n)]. *)
+
+val capacity : t -> int
+
+val add : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets [dst := dst ∪ src]. Capacities must
+    match. *)
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+
+val to_list : t -> int list

@@ -1,0 +1,28 @@
+(** Mutable binary min-heap, used by the event queue and by shortest-path
+    computations. Elements are ordered by a user-supplied comparison. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap with ordering [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap, returning elements in ascending order. *)

@@ -1,0 +1,98 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else if Array.exists (fun x -> x <= 0.0) xs then 0.0
+  else begin
+    let log_sum = Array.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (log_sum /. float_of_int n)
+  end
+
+let sorted_copy xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let s = sorted_copy xs in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  if lo = hi then s.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+  end
+
+let median xs = quantile xs 0.5
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int n
+    in
+    sqrt var
+  end
+
+type cdf = (float * float) list
+
+let cdf xs =
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let s = sorted_copy xs in
+    let total = float_of_int n in
+    let rec build i acc =
+      if i >= n then List.rev acc
+      else begin
+        (* Advance to the last occurrence of this value. *)
+        let v = s.(i) in
+        let j = ref i in
+        while !j + 1 < n && s.(!j + 1) = v do
+          incr j
+        done;
+        build (!j + 1) ((v, float_of_int (!j + 1) /. total) :: acc)
+      end
+    in
+    build 0 []
+  end
+
+let cdf_at c x =
+  List.fold_left (fun acc (v, frac) -> if v <= x then frac else acc) 0.0 c
+
+type five_number = {
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+  mean : float;
+}
+
+let five_number xs =
+  if Array.length xs = 0 then invalid_arg "Stats.five_number: empty sample";
+  {
+    min = quantile xs 0.0;
+    p25 = quantile xs 0.25;
+    median = quantile xs 0.5;
+    p75 = quantile xs 0.75;
+    max = quantile xs 1.0;
+    mean = mean xs;
+  }
+
+let summary xs =
+  if Array.length xs = 0 then "(empty)"
+  else begin
+    let f = five_number xs in
+    Printf.sprintf "min=%.3g p25=%.3g med=%.3g p75=%.3g max=%.3g mean=%.3g"
+      f.min f.p25 f.median f.p75 f.max f.mean
+  end

@@ -1,0 +1,42 @@
+(** Descriptive statistics and CDF reporting for the evaluation figures. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on an empty array. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of non-negative values. A single zero forces the
+    result to 0. Returns 0. on an empty array. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [\[0,1\]]: linear-interpolation quantile
+    of the (unsorted) sample. Raises [Invalid_argument] on an empty
+    array or [q] outside [\[0,1\]]. *)
+
+val median : float array -> float
+
+val stddev : float array -> float
+(** Population standard deviation; 0. on arrays shorter than 2. *)
+
+type cdf = (float * float) list
+(** Sorted [(value, cumulative fraction)] points. *)
+
+val cdf : float array -> cdf
+(** Empirical CDF of a sample: one point per distinct value. *)
+
+val cdf_at : cdf -> float -> float
+(** [cdf_at c x] is the fraction of the sample [<= x]. *)
+
+val summary : float array -> string
+(** One-line [min/p25/median/p75/max mean] summary used in reports. *)
+
+type five_number = {
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+  mean : float;
+}
+
+val five_number : float array -> five_number
+(** Five-number summary plus mean. Raises [Invalid_argument] if empty. *)

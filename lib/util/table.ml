@@ -1,0 +1,32 @@
+let pad cell width = cell ^ String.make (max 0 (width - String.length cell)) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row
+    else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let line row =
+    row
+    |> List.mapi (fun i cell -> pad cell widths.(i))
+    |> String.concat "  "
+    |> fun s -> String.trim s ^ "\n"
+  in
+  let rule = List.init ncols (fun i -> String.make widths.(i) '-') in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_string buf (line rule);
+  List.iter (fun row -> Buffer.add_string buf (line row)) rows;
+  Buffer.contents buf
+
+let print ~header ~rows = print_string (render ~header ~rows)

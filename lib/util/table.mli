@@ -1,0 +1,10 @@
+(** Plain-text table rendering for experiment reports. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] lays the table out with column widths fitted
+    to the content, an underline row after the header, and two spaces
+    between columns. Rows shorter than the header are padded with empty
+    cells. *)
+
+val print : header:string list -> rows:string list list -> unit
+(** {!render} followed by [print_string]. *)

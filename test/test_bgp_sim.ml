@@ -1,0 +1,193 @@
+(* Tests for the event-driven BGP simulator: convergence to the
+   closed-form Gao-Rexford solution, withdrawals, link failures, MRAI
+   behaviour and churn accounting. *)
+
+let check = Alcotest.check
+
+(* The same policy graph as test_bgp. *)
+let policy_graph () =
+  let b = Graph.builder () in
+  for i = 0 to 6 do
+    ignore (Graph.add_as b ~tier:(if i < 2 then 1 else if i < 5 then 2 else 3) (Id.ia 1 (i + 1)))
+  done;
+  Graph.add_link b ~rel:Graph.Peering 0 1;
+  Graph.add_link b ~rel:Graph.Provider_customer 0 2;
+  Graph.add_link b ~rel:Graph.Provider_customer 0 3;
+  Graph.add_link b ~rel:Graph.Provider_customer 1 4;
+  Graph.add_link b ~rel:Graph.Provider_customer 2 5;
+  Graph.add_link b ~rel:Graph.Provider_customer 3 6;
+  Graph.add_link b ~rel:Graph.Provider_customer 4 6;
+  Graph.freeze b
+
+let converged_sim ?(config = Bgp_sim.default_config) g =
+  let t = Bgp_sim.create g config in
+  Bgp_sim.announce_all t;
+  ignore (Bgp_sim.run_to_quiescence t);
+  t
+
+let test_converges_to_closed_form () =
+  let g = policy_graph () in
+  let t = converged_sim g in
+  for dst = 0 to 6 do
+    let table = Bgp_routes.compute g ~dst in
+    for src = 0 to 6 do
+      if src <> dst then begin
+        match (Bgp_sim.best_path t ~src ~prefix:dst, Bgp_routes.path_to table ~src) with
+        | Some p_sim, Some p_cf ->
+            (* Tie-breaks may differ; class preference and length must
+               agree. *)
+            check Alcotest.int
+              (Printf.sprintf "path length %d->%d" src dst)
+              (List.length p_cf) (List.length p_sim);
+            check Alcotest.int "ends at origin" dst
+              (List.nth p_sim (List.length p_sim - 1))
+        | None, None -> ()
+        | Some _, None -> Alcotest.failf "sim found a route %d->%d, model did not" src dst
+        | None, Some _ -> Alcotest.failf "sim missing route %d->%d" src dst
+      end
+    done
+  done
+
+let test_loop_free () =
+  let g = policy_graph () in
+  let t = converged_sim g in
+  for src = 0 to 6 do
+    for dst = 0 to 6 do
+      match Bgp_sim.best_path t ~src ~prefix:dst with
+      | None -> ()
+      | Some p ->
+          check Alcotest.int "no repeated AS" (List.length p)
+            (List.length (List.sort_uniq compare p))
+    done
+  done
+
+let test_withdraw_cascades () =
+  let g = policy_graph () in
+  let t = converged_sim g in
+  Bgp_sim.withdraw_origin t ~origin:6;
+  ignore (Bgp_sim.run_to_quiescence t);
+  for src = 0 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "AS %d dropped the route" src)
+      true
+      (Bgp_sim.best_path t ~src ~prefix:6 = None)
+  done;
+  let st = Bgp_sim.stats t in
+  Alcotest.(check bool) "withdrawals were sent" true (st.Bgp_sim.withdrawals_sent > 0)
+
+let test_link_failure_reroute () =
+  let g = policy_graph () in
+  let t = converged_sim g in
+  (* S2 (6) is dual-homed via M2 (3) and M3 (4). Fail the 3-6 link. *)
+  let l36 = (List.hd (Graph.links_between g 3 6)).Graph.link_id in
+  (match Bgp_sim.best_path t ~src:3 ~prefix:6 with
+  | Some [ 3; 6 ] -> ()
+  | p -> Alcotest.failf "unexpected initial path %s"
+           (match p with None -> "none" | Some q -> String.concat "," (List.map string_of_int q)));
+  Bgp_sim.reset_stats t;
+  Bgp_sim.fail_link t l36;
+  ignore (Bgp_sim.run_to_quiescence t);
+  (match Bgp_sim.best_path t ~src:3 ~prefix:6 with
+  | Some p ->
+      Alcotest.(check bool) "rerouted around the failed link" true
+        (List.length p > 2)
+  | None -> Alcotest.fail "3 must still reach 6");
+  let st = Bgp_sim.stats t in
+  Alcotest.(check bool) "churn updates counted" true
+    (st.Bgp_sim.updates_sent + st.Bgp_sim.withdrawals_sent > 0);
+  (* Restore: the direct route returns. *)
+  Bgp_sim.restore_link t l36;
+  ignore (Bgp_sim.run_to_quiescence t);
+  match Bgp_sim.best_path t ~src:3 ~prefix:6 with
+  | Some [ 3; 6 ] -> ()
+  | _ -> Alcotest.fail "direct route must return after restore"
+
+let test_parallel_link_sessions () =
+  (* Two parallel links: failing one must not disturb routing. *)
+  let b = Graph.builder () in
+  let x = Graph.add_as b ~core:true (Id.ia 1 1) in
+  let y = Graph.add_as b ~core:true (Id.ia 1 2) in
+  Graph.add_link b ~count:2 ~rel:Graph.Peering x y;
+  let g = Graph.freeze b in
+  let t = converged_sim g in
+  Bgp_sim.reset_stats t;
+  Bgp_sim.fail_link t 0;
+  ignore (Bgp_sim.run_to_quiescence t);
+  Alcotest.(check bool) "route survives on the second link" true
+    (Bgp_sim.best_path t ~src:x ~prefix:y <> None);
+  let st = Bgp_sim.stats t in
+  check Alcotest.int "no churn for a redundant link" 0
+    (st.Bgp_sim.updates_sent + st.Bgp_sim.withdrawals_sent);
+  (* Failing the second one kills the session. *)
+  Bgp_sim.fail_link t 1;
+  ignore (Bgp_sim.run_to_quiescence t);
+  Alcotest.(check bool) "route gone" true (Bgp_sim.best_path t ~src:x ~prefix:y = None)
+
+let test_adj_rib_in_multipath () =
+  let g = policy_graph () in
+  let t = converged_sim g in
+  (* T1a hears about S2 (6) from M2 (customer route). *)
+  let pool = Bgp_sim.adj_rib_in_paths t ~src:0 ~prefix:6 in
+  Alcotest.(check bool) "at least one offer" true (pool <> []);
+  List.iter
+    (fun p ->
+      check Alcotest.int "rooted at src" 0 (List.hd p);
+      check Alcotest.int "ends at origin" 6 (List.nth p (List.length p - 1)))
+    pool
+
+let test_mrai_paces_updates () =
+  (* With a long MRAI, convergence takes at least one MRAI round when
+     paths must be re-advertised after a better route arrives. *)
+  let g = policy_graph () in
+  let fast = converged_sim ~config:{ Bgp_sim.default_config with Bgp_sim.mrai = 0.01 } g in
+  let slow = converged_sim ~config:{ Bgp_sim.default_config with Bgp_sim.mrai = 30.0 } g in
+  let st_fast = Bgp_sim.stats fast and st_slow = Bgp_sim.stats slow in
+  (* MRAI batching: the slow speaker never sends more messages. *)
+  Alcotest.(check bool) "mrai batches" true
+    (st_slow.Bgp_sim.updates_sent <= st_fast.Bgp_sim.updates_sent);
+  Alcotest.(check bool) "slow converges later or equal" true
+    (st_slow.Bgp_sim.last_route_change >= st_fast.Bgp_sim.last_route_change -. 1e-9)
+
+let test_bgpsec_bytes_larger () =
+  let g = policy_graph () in
+  let plain = converged_sim g in
+  let sec = converged_sim ~config:{ Bgp_sim.default_config with Bgp_sim.bgpsec = true } g in
+  let b_plain = (Bgp_sim.stats plain).Bgp_sim.bytes_sent in
+  let b_sec = (Bgp_sim.stats sec).Bgp_sim.bytes_sent in
+  Alcotest.(check bool) "bgpsec costs more bytes" true (b_sec > 3.0 *. b_plain)
+
+let test_quiescence_time_positive () =
+  let g = policy_graph () in
+  let t = Bgp_sim.create g Bgp_sim.default_config in
+  Bgp_sim.announce_all t;
+  let tq = Bgp_sim.run_to_quiescence t in
+  Alcotest.(check bool) "time advanced" true (tq > 0.0);
+  let st = Bgp_sim.stats t in
+  Alcotest.(check bool) "convergence marker set" true (st.Bgp_sim.last_route_change > 0.0);
+  Alcotest.(check bool) "marker before quiescence" true
+    (st.Bgp_sim.last_route_change <= tq)
+
+let test_generated_topology_full_reachability () =
+  let g = Caida_like.generate { Caida_like.small_params with Caida_like.n = 60 } in
+  let t = converged_sim g in
+  let missing = ref 0 in
+  for src = 0 to Graph.n g - 1 do
+    for dst = 0 to Graph.n g - 1 do
+      if src <> dst && Bgp_sim.best_path t ~src ~prefix:dst = None then incr missing
+    done
+  done;
+  check Alcotest.int "every AS reaches every prefix" 0 !missing
+
+let suite =
+  [
+    ("converges to closed form", `Quick, test_converges_to_closed_form);
+    ("loop free", `Quick, test_loop_free);
+    ("withdraw cascades", `Quick, test_withdraw_cascades);
+    ("link failure reroute", `Quick, test_link_failure_reroute);
+    ("parallel link sessions", `Quick, test_parallel_link_sessions);
+    ("adj-rib-in multipath", `Quick, test_adj_rib_in_multipath);
+    ("mrai paces updates", `Quick, test_mrai_paces_updates);
+    ("bgpsec bytes larger", `Quick, test_bgpsec_bytes_larger);
+    ("quiescence time positive", `Quick, test_quiescence_time_positive);
+    ("generated topology reachability", `Slow, test_generated_topology_full_reachability);
+  ]

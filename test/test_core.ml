@@ -1,0 +1,622 @@
+(* Tests for scion_core: PCBs, the beacon store, the scoring functions
+   of §4.2, diversity state, and the beaconing engine. *)
+
+let check = Alcotest.check
+
+(* A triangle of core ASes with one parallel link:
+   0 === 1, 0 -- 2, 1 -- 2. *)
+let triangle () =
+  let b = Graph.builder () in
+  let a0 = Graph.add_as b ~core:true (Id.ia 1 1) in
+  let a1 = Graph.add_as b ~core:true (Id.ia 1 2) in
+  let a2 = Graph.add_as b ~core:true (Id.ia 2 1) in
+  Graph.add_link b ~count:2 ~rel:Graph.Core a0 a1;
+  Graph.add_link b ~rel:Graph.Core a0 a2;
+  Graph.add_link b ~rel:Graph.Core a1 a2;
+  Graph.freeze b
+
+(* A chain of core ASes 0 - 1 - 2 - 3. *)
+let chain n =
+  let b = Graph.builder () in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_as b ~core:true (Id.ia 1 (i + 1)))
+  done;
+  for i = 0 to n - 2 do
+    Graph.add_link b ~rel:Graph.Core i (i + 1)
+  done;
+  Graph.freeze b
+
+(* --- Pcb --- *)
+
+let test_pcb_origin () =
+  let p = Pcb.origin_pcb ~origin:7 ~now:100.0 ~lifetime:600.0 in
+  check Alcotest.int "no hops" 0 (Pcb.num_hops p);
+  Alcotest.(check bool) "valid" true (Pcb.is_valid p ~now:100.0);
+  Alcotest.(check bool) "expired" false (Pcb.is_valid p ~now:700.0);
+  Alcotest.(check (float 1e-9)) "expiry" 700.0 (Pcb.expires_at p);
+  Alcotest.(check bool) "contains origin" true (Pcb.contains_as p 7);
+  Alcotest.(check (option int)) "no last link" None (Pcb.last_link p)
+
+let test_pcb_extend () =
+  let p = Pcb.origin_pcb ~origin:0 ~now:0.0 ~lifetime:600.0 in
+  let p1 = Pcb.extend p ~asn:0 ~ingress:0 ~egress:1 ~link:10 ~peers:[||] in
+  let p2 = Pcb.extend p1 ~asn:5 ~ingress:2 ~egress:3 ~link:11 ~peers:[| 42 |] in
+  check Alcotest.int "two hops" 2 (Pcb.num_hops p2);
+  Alcotest.(check (option int)) "last link" (Some 11) (Pcb.last_link p2);
+  Alcotest.(check bool) "contains 5" true (Pcb.contains_as p2 5);
+  Alcotest.(check bool) "not contains 9" false (Pcb.contains_as p2 9);
+  check Alcotest.string "key matches links" (Pcb.path_key [| 10; 11 |]) p2.Pcb.key
+
+let test_pcb_extend_key () =
+  let k = Pcb.path_key [| 10 |] in
+  check Alcotest.string "extend_key" (Pcb.path_key [| 10; 11 |]) (Pcb.extend_key k 11)
+
+let prop_extend_key =
+  QCheck.Test.make ~name:"extend_key equals path_key of appended array" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 0 6) (int_bound 0xFFFFFF)) (int_bound 0xFFFFFF))
+    (fun (ls, l) ->
+      let arr = Array.of_list ls in
+      Pcb.extend_key (Pcb.path_key arr) l = Pcb.path_key (Array.append arr [| l |]))
+
+let test_pcb_wire_bytes () =
+  let p = Pcb.origin_pcb ~origin:0 ~now:0.0 ~lifetime:600.0 in
+  let p1 = Pcb.extend p ~asn:0 ~ingress:0 ~egress:1 ~link:0 ~peers:[||] in
+  check Alcotest.int "one hop size" (Wire.pcb_bytes ~hops:1 ~signature_bytes:96)
+    (Pcb.wire_bytes p1 ~signature_bytes:96);
+  let p2 = Pcb.extend p1 ~asn:1 ~ingress:1 ~egress:2 ~link:1 ~peers:[| 5; 6 |] in
+  check Alcotest.int "peering entries add 16 bytes each"
+    (Wire.pcb_bytes ~hops:2 ~signature_bytes:96 + 32)
+    (Pcb.wire_bytes p2 ~signature_bytes:96)
+
+let test_pcb_age_remaining () =
+  let p = Pcb.origin_pcb ~origin:0 ~now:100.0 ~lifetime:50.0 in
+  Alcotest.(check (float 1e-9)) "age" 20.0 (Pcb.age p ~now:120.0);
+  Alcotest.(check (float 1e-9)) "remaining" 30.0 (Pcb.remaining p ~now:120.0);
+  Alcotest.(check (float 1e-9)) "remaining clamps" 0.0 (Pcb.remaining p ~now:500.0)
+
+(* --- Beacon_store --- *)
+
+let mk_pcb ?(origin = 0) ?(now = 0.0) ?(lifetime = 600.0) links =
+  let p = ref (Pcb.origin_pcb ~origin ~now ~lifetime) in
+  List.iteri
+    (fun i l -> p := Pcb.extend !p ~asn:(100 + i) ~ingress:0 ~egress:1 ~link:l ~peers:[||])
+    links;
+  !p
+
+let test_store_insert () =
+  let s = Beacon_store.create ~limit:2 in
+  check Alcotest.bool "added"
+    (Beacon_store.insert s ~now:0.0 (mk_pcb [ 1 ]) = Beacon_store.Added)
+    true;
+  check Alcotest.int "count" 1 (Beacon_store.count s ~origin:0);
+  check (Alcotest.list Alcotest.int) "origins" [ 0 ] (Beacon_store.origins s)
+
+let test_store_refresh () =
+  let s = Beacon_store.create ~limit:2 in
+  ignore (Beacon_store.insert s ~now:0.0 (mk_pcb ~now:0.0 [ 1 ]));
+  check Alcotest.bool "newer instance refreshes"
+    (Beacon_store.insert s ~now:10.0 (mk_pcb ~now:10.0 [ 1 ]) = Beacon_store.Refreshed)
+    true;
+  check Alcotest.bool "older instance rejected"
+    (Beacon_store.insert s ~now:10.0 (mk_pcb ~now:5.0 [ 1 ]) = Beacon_store.Rejected)
+    true;
+  check Alcotest.int "still one entry" 1 (Beacon_store.count s ~origin:0)
+
+let test_store_limit_and_eviction () =
+  let s = Beacon_store.create ~limit:2 in
+  ignore (Beacon_store.insert s ~now:0.0 (mk_pcb [ 1; 2; 3 ]));
+  ignore (Beacon_store.insert s ~now:0.0 (mk_pcb [ 4; 5 ]));
+  (* Full. A longer path is rejected; a shorter one evicts the worst. *)
+  check Alcotest.bool "longer rejected"
+    (Beacon_store.insert s ~now:0.0 (mk_pcb [ 6; 7; 8; 9 ]) = Beacon_store.Rejected)
+    true;
+  check Alcotest.bool "shorter evicts"
+    (Beacon_store.insert s ~now:0.0 (mk_pcb [ 6 ]) = Beacon_store.Evicted_other)
+    true;
+  check Alcotest.int "limit respected" 2 (Beacon_store.count s ~origin:0)
+
+let test_store_expired_rejected () =
+  let s = Beacon_store.create ~limit:5 in
+  check Alcotest.bool "expired rejected"
+    (Beacon_store.insert s ~now:1000.0 (mk_pcb ~now:0.0 ~lifetime:600.0 [ 1 ])
+    = Beacon_store.Rejected)
+    true
+
+let test_store_paths_sorted () =
+  let s = Beacon_store.create ~limit:5 in
+  ignore (Beacon_store.insert s ~now:0.0 (mk_pcb [ 1; 2; 3 ]));
+  ignore (Beacon_store.insert s ~now:0.0 (mk_pcb [ 4 ]));
+  ignore (Beacon_store.insert s ~now:0.0 (mk_pcb [ 5; 6 ]));
+  let lens = List.map Pcb.num_hops (Beacon_store.paths s ~now:0.0 ~origin:0) in
+  check (Alcotest.list Alcotest.int) "shortest first" [ 1; 2; 3 ] lens
+
+let test_store_prune () =
+  let s = Beacon_store.create ~limit:5 in
+  ignore (Beacon_store.insert s ~now:0.0 (mk_pcb ~now:0.0 ~lifetime:100.0 [ 1 ]));
+  ignore (Beacon_store.insert s ~now:0.0 (mk_pcb ~now:0.0 ~lifetime:900.0 [ 2 ]));
+  Beacon_store.prune_expired s ~now:500.0;
+  check Alcotest.int "one survivor" 1 (Beacon_store.count s ~origin:0)
+
+let test_store_last_modified () =
+  let s = Beacon_store.create ~limit:5 in
+  Alcotest.(check bool) "initially -inf" true
+    (Beacon_store.last_modified s ~origin:0 = neg_infinity);
+  ignore (Beacon_store.insert s ~now:42.0 (mk_pcb [ 1 ]));
+  Alcotest.(check (float 1e-9)) "updated" 42.0 (Beacon_store.last_modified s ~origin:0);
+  (* A rejected insert must not bump the timestamp. *)
+  ignore (Beacon_store.insert s ~now:50.0 (mk_pcb ~now:0.0 [ 1 ]));
+  Alcotest.(check (float 1e-9)) "unchanged on reject" 42.0
+    (Beacon_store.last_modified s ~origin:0)
+
+let prop_store_limit =
+  QCheck.Test.make ~name:"store never exceeds its per-origin limit" ~count:100
+    QCheck.(list (list_of_size (Gen.int_range 1 5) (int_bound 30)))
+    (fun pcbs ->
+      let s = Beacon_store.create ~limit:3 in
+      List.iter (fun links -> ignore (Beacon_store.insert s ~now:0.0 (mk_pcb links))) pcbs;
+      Beacon_store.count s ~origin:0 <= 3)
+
+(* --- Scoring (§4.2) --- *)
+
+let params = Beacon_policy.default_div_params
+
+let test_score_fresh_age_zero () =
+  Alcotest.(check (float 1e-9)) "fresh scores 1" 1.0
+    (Beacon_policy.score_fresh params ~ds:0.5 ~age:0.0 ~lifetime:600.0)
+
+let test_score_fresh_decreasing_in_age () =
+  let s1 = Beacon_policy.score_fresh params ~ds:0.8 ~age:100.0 ~lifetime:600.0 in
+  let s2 = Beacon_policy.score_fresh params ~ds:0.8 ~age:300.0 ~lifetime:600.0 in
+  Alcotest.(check bool) "older scores lower" true (s2 < s1)
+
+let test_score_fresh_increasing_in_ds () =
+  let lo = Beacon_policy.score_fresh params ~ds:0.3 ~age:100.0 ~lifetime:600.0 in
+  let hi = Beacon_policy.score_fresh params ~ds:0.9 ~age:100.0 ~lifetime:600.0 in
+  Alcotest.(check bool) "more diverse scores higher" true (hi > lo)
+
+let test_score_resend_suppression () =
+  (* Just sent: remaining lifetimes equal, must be heavily suppressed. *)
+  let s =
+    Beacon_policy.score_resend params ~ds:0.9 ~sent_remaining:600.0 ~current_remaining:600.0
+  in
+  Alcotest.(check bool) "suppressed" true (s < params.Beacon_policy.threshold)
+
+let test_score_resend_refresh () =
+  (* Sent instance nearly expired, fresh instance available: resend. *)
+  let s =
+    Beacon_policy.score_resend params ~ds:0.9 ~sent_remaining:10.0 ~current_remaining:600.0
+  in
+  Alcotest.(check bool) "refresh allowed" true (s > params.Beacon_policy.threshold)
+
+let test_score_resend_monotone () =
+  let prev = ref 2.0 in
+  for i = 0 to 10 do
+    let sr = float_of_int i *. 60.0 in
+    let s =
+      Beacon_policy.score_resend params ~ds:0.9 ~sent_remaining:sr ~current_remaining:600.0
+    in
+    Alcotest.(check bool) "decreasing in sent_remaining" true (s <= !prev);
+    prev := s
+  done
+
+let test_diversity_of_gm () =
+  Alcotest.(check (float 1e-9)) "gm 1 -> 1" 1.0 (Beacon_policy.diversity_of_gm params 1.0);
+  Alcotest.(check (float 1e-9)) "gm beyond max -> 0" 0.0
+    (Beacon_policy.diversity_of_gm params (params.Beacon_policy.gm_max +. 2.0));
+  let mid = Beacon_policy.diversity_of_gm params 2.0 in
+  Alcotest.(check bool) "in (0,1)" true (mid > 0.0 && mid < 1.0)
+
+let test_crossing_time () =
+  let ds = 0.9 in
+  let sent_expires_at = 3000.0 and current_expires_at = 6000.0 in
+  let now = 0.0 in
+  let t =
+    Beacon_policy.resend_crossing_time params ~ds ~now ~sent_expires_at ~current_expires_at
+  in
+  Alcotest.(check bool) "in the future" true (t > now);
+  Alcotest.(check bool) "before sent expiry" true (t <= sent_expires_at);
+  (* Just before the crossing the score is below the threshold; just
+     after it is above. *)
+  let score at =
+    Beacon_policy.score_resend params ~ds ~sent_remaining:(sent_expires_at -. at)
+      ~current_remaining:(current_expires_at -. at)
+  in
+  if t > 1.0 && t < sent_expires_at -. 1.0 then begin
+    Alcotest.(check bool) "below before" true
+      (score (t -. 1.0) < params.Beacon_policy.threshold +. 1e-6);
+    Alcotest.(check bool) "above after" true
+      (score (t +. 1.0) > params.Beacon_policy.threshold -. 1e-6)
+  end
+
+let test_crossing_never_when_same_instance () =
+  let t =
+    Beacon_policy.resend_crossing_time params ~ds:0.9 ~now:0.0 ~sent_expires_at:600.0
+      ~current_expires_at:600.0
+  in
+  Alcotest.(check bool) "never crosses" true (t = infinity)
+
+(* --- Diversity_state --- *)
+
+let test_counters_mean_kinds () =
+  let st = Diversity_state.create ~n_as:10 in
+  (* One heavily-reused link next to fresh ones: AM >= GM strictly. *)
+  for _ = 1 to 7 do
+    Diversity_state.increment st ~origin:1 ~neighbor:2 ~links:[| 5 |] ~extra:5
+  done;
+  let gm =
+    Diversity_state.counters_mean st ~kind:Beacon_policy.Geometric ~origin:1
+      ~neighbor:2 ~links:[| 5; 6 |] ~extra:7
+  in
+  let am =
+    Diversity_state.counters_mean st ~kind:Beacon_policy.Arithmetic ~origin:1
+      ~neighbor:2 ~links:[| 5; 6 |] ~extra:7
+  in
+  Alcotest.(check bool) "AM > GM on skewed counters" true (am > gm);
+  (* Both agree on an empty table. *)
+  Alcotest.(check (float 1e-9)) "empty table AM" 1.0
+    (Diversity_state.counters_mean st ~kind:Beacon_policy.Arithmetic ~origin:3
+       ~neighbor:4 ~links:[| 1 |] ~extra:2)
+
+let test_diversity_state_counters () =
+  let st = Diversity_state.create ~n_as:10 in
+  Alcotest.(check (float 1e-9)) "empty table -> gm 1" 1.0
+    (Diversity_state.counters_gm st ~origin:1 ~neighbor:2 ~links:[| 5 |] ~extra:6);
+  Diversity_state.increment st ~origin:1 ~neighbor:2 ~links:[| 5 |] ~extra:6;
+  let gm = Diversity_state.counters_gm st ~origin:1 ~neighbor:2 ~links:[| 5 |] ~extra:6 in
+  Alcotest.(check (float 1e-9)) "both counters 1 -> gm 2" 2.0 gm;
+  (* Other pairs are unaffected. *)
+  Alcotest.(check (float 1e-9)) "pair isolation" 1.0
+    (Diversity_state.counters_gm st ~origin:1 ~neighbor:3 ~links:[| 5 |] ~extra:6)
+
+let test_diversity_state_sent () =
+  let st = Diversity_state.create ~n_as:10 in
+  Alcotest.(check bool) "absent" true
+    (Diversity_state.find_sent st ~egress:3 ~key:"k" = None);
+  Diversity_state.record_sent st ~origin:1 ~neighbor:2 ~egress:3 ~key:"k" ~links:[| 3 |]
+    ~ds:0.8 ~expires_at:600.0;
+  (match Diversity_state.find_sent st ~egress:3 ~key:"k" with
+  | None -> Alcotest.fail "should be present"
+  | Some info ->
+      Alcotest.(check (float 1e-9)) "ds" 0.8 info.Diversity_state.ds;
+      Diversity_state.refresh_sent info ~expires_at:900.0;
+      Alcotest.(check (float 1e-9)) "timer updated" 900.0
+        info.Diversity_state.sent_expires_at);
+  check Alcotest.int "one entry" 1 (Diversity_state.sent_count st)
+
+let test_diversity_state_prune_decrements () =
+  let st = Diversity_state.create ~n_as:10 in
+  Diversity_state.increment st ~origin:1 ~neighbor:2 ~links:[||] ~extra:3;
+  Diversity_state.record_sent st ~origin:1 ~neighbor:2 ~egress:3 ~key:"k" ~links:[| 3 |]
+    ~ds:0.8 ~expires_at:100.0;
+  Diversity_state.prune st ~now:200.0;
+  check Alcotest.int "entry dropped" 0 (Diversity_state.sent_count st);
+  Alcotest.(check (float 1e-9)) "counter decremented back to gm 1" 1.0
+    (Diversity_state.counters_gm st ~origin:1 ~neighbor:2 ~links:[||] ~extra:3)
+
+let test_diversity_state_gating () =
+  let st = Diversity_state.create ~n_as:10 in
+  Alcotest.(check bool) "new pair evaluates" true
+    (Diversity_state.should_evaluate st ~origin:1 ~neighbor:2 ~store_last_mod:0.0 ~now:0.0);
+  Diversity_state.begin_evaluation st ~origin:1 ~neighbor:2 ~now:0.0;
+  Alcotest.(check bool) "quiet pair skipped" false
+    (Diversity_state.should_evaluate st ~origin:1 ~neighbor:2 ~store_last_mod:(-1.0) ~now:1.0);
+  Alcotest.(check bool) "store change triggers" true
+    (Diversity_state.should_evaluate st ~origin:1 ~neighbor:2 ~store_last_mod:0.5 ~now:1.0);
+  Diversity_state.propose_next_eval st ~origin:1 ~neighbor:2 10.0;
+  Alcotest.(check bool) "before next_eval skipped" false
+    (Diversity_state.should_evaluate st ~origin:1 ~neighbor:2 ~store_last_mod:(-1.0) ~now:9.0);
+  Alcotest.(check bool) "at next_eval triggers" true
+    (Diversity_state.should_evaluate st ~origin:1 ~neighbor:2 ~store_last_mod:(-1.0) ~now:10.0)
+
+(* --- Beaconing engine --- *)
+
+let cfg_short =
+  {
+    Beaconing.default_config with
+    Beaconing.duration = 600.0 *. 8.0;
+    Beaconing.lifetime = 600.0 *. 12.0;
+  }
+
+let path_is_consistent g (p : Pcb.t) holder =
+  (* Consecutive links must chain through the hop ASes to the holder. *)
+  let hops = p.Pcb.hops in
+  let ok = ref true in
+  Array.iteri
+    (fun i (h : Pcb.hop) ->
+      let lk = Graph.link g h.Pcb.link in
+      let next = if i + 1 < Array.length hops then hops.(i + 1).Pcb.asn else holder in
+      let connects =
+        (lk.Graph.a = h.Pcb.asn && lk.Graph.b = next)
+        || (lk.Graph.b = h.Pcb.asn && lk.Graph.a = next)
+      in
+      if not connects then ok := false)
+    hops;
+  !ok && (Array.length hops = 0 || hops.(0).Pcb.asn = p.Pcb.origin)
+
+let test_baseline_propagates () =
+  let g = chain 4 in
+  let out = Beaconing.run g cfg_short in
+  (* Every AS must know a path to every origin. *)
+  for v = 0 to 3 do
+    for o = 0 to 3 do
+      if v <> o then begin
+        let paths =
+          Beacon_store.paths out.Beaconing.stores.(v)
+            ~now:(cfg_short.Beaconing.duration -. 1.0) ~origin:o
+        in
+        Alcotest.(check bool) (Printf.sprintf "AS %d knows origin %d" v o) true
+          (paths <> []);
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "path consistent with topology" true
+              (path_is_consistent g p v);
+            Alcotest.(check bool) "loop free (holder not on path)" true
+              (not (Pcb.contains_as p v)))
+          paths
+      end
+    done
+  done
+
+let test_baseline_shortest_on_chain () =
+  let g = chain 4 in
+  let out = Beaconing.run g cfg_short in
+  let paths =
+    Beacon_store.paths out.Beaconing.stores.(3)
+      ~now:(cfg_short.Beaconing.duration -. 1.0) ~origin:0
+  in
+  (* Only one simple path exists: 0-1-2-3, three hops recorded. *)
+  check Alcotest.int "exactly one path" 1 (List.length paths);
+  check Alcotest.int "three AS entries" 3 (Pcb.num_hops (List.hd paths))
+
+let test_diversity_propagates () =
+  let g = triangle () in
+  let cfg =
+    { cfg_short with Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params }
+  in
+  let out = Beaconing.run g cfg in
+  for v = 0 to 2 do
+    for o = 0 to 2 do
+      if v <> o then
+        Alcotest.(check bool) "knows origin" true
+          (Beacon_store.paths out.Beaconing.stores.(v)
+             ~now:(cfg.Beaconing.duration -. 1.0) ~origin:o
+          <> [])
+    done
+  done
+
+let test_diversity_cheaper_than_baseline () =
+  let g = triangle () in
+  let base = Beaconing.run g cfg_short in
+  let div =
+    Beaconing.run g
+      { cfg_short with Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params }
+  in
+  Alcotest.(check bool) "diversity sends fewer PCBs" true
+    (div.Beaconing.stats.Beaconing.total_pcbs
+    < base.Beaconing.stats.Beaconing.total_pcbs)
+
+let test_diversity_finds_parallel_links () =
+  (* The triangle has two parallel links 0===1; diversity must
+     disseminate paths over both. *)
+  let g = triangle () in
+  let cfg =
+    { cfg_short with Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params }
+  in
+  let out = Beaconing.run g cfg in
+  let paths =
+    Beacon_store.paths out.Beaconing.stores.(1)
+      ~now:(cfg.Beaconing.duration -. 1.0) ~origin:0
+  in
+  let links = Path_quality.links_of_pcbs paths in
+  let direct = List.map (fun (l : Graph.link) -> l.Graph.link_id) (Graph.links_between g 0 1) in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (Printf.sprintf "parallel link %d used" l) true
+        (List.mem l links))
+    direct
+
+let test_dissemination_limit_per_iface () =
+  let g = triangle () in
+  let out = Beaconing.run g cfg_short in
+  let rounds = out.Beaconing.stats.Beaconing.rounds in
+  let origins = 3 in
+  Array.iter
+    (fun count ->
+      Alcotest.(check bool) "per-interface cap" true
+        (count <= rounds * origins * cfg_short.Beaconing.dissemination_limit))
+    out.Beaconing.stats.Beaconing.pcbs_on_iface
+
+let test_crypto_verification () =
+  let g = triangle () in
+  let cfg = { cfg_short with Beaconing.verify_crypto = true } in
+  let out = Beaconing.run g cfg in
+  check Alcotest.int "no crypto failures" 0 out.Beaconing.stats.Beaconing.crypto_failures;
+  (* Stores still fill. *)
+  Alcotest.(check bool) "paths stored" true
+    (Beacon_store.total out.Beaconing.stores.(2) > 0)
+
+let test_storage_limit_respected () =
+  let g = triangle () in
+  let cfg = { cfg_short with Beaconing.storage_limit = 2 } in
+  let out = Beaconing.run g cfg in
+  for v = 0 to 2 do
+    List.iter
+      (fun o ->
+        Alcotest.(check bool) "within storage limit" true
+          (Beacon_store.count out.Beaconing.stores.(v) ~origin:o <= 2))
+      (Beacon_store.origins out.Beaconing.stores.(v))
+  done
+
+let test_intra_isd_direction () =
+  (* core 0 -> customer 1 -> customer 2; a PCB must never flow upward. *)
+  let b = Graph.builder () in
+  let a0 = Graph.add_as b ~core:true (Id.ia 1 1) in
+  let a1 = Graph.add_as b (Id.ia 1 2) in
+  let a2 = Graph.add_as b (Id.ia 1 3) in
+  Graph.add_link b ~rel:Graph.Provider_customer a0 a1;
+  Graph.add_link b ~rel:Graph.Provider_customer a1 a2;
+  let g = Graph.freeze b in
+  let cfg = { cfg_short with Beaconing.scope = Beaconing.Intra_isd } in
+  let out = Beaconing.run g cfg in
+  let now = cfg.Beaconing.duration -. 1.0 in
+  Alcotest.(check bool) "leaf knows core" true
+    (Beacon_store.paths out.Beaconing.stores.(a2) ~now ~origin:a0 <> []);
+  (* The core AS never receives anything. *)
+  check Alcotest.int "core store empty" 0 (Beacon_store.total out.Beaconing.stores.(a0));
+  (* Upward interfaces carried no PCBs: only 2 directed interfaces used. *)
+  let used =
+    Array.fold_left
+      (fun acc c -> if c > 0 then acc + 1 else acc)
+      0 out.Beaconing.stats.Beaconing.pcbs_on_iface
+  in
+  check Alcotest.int "only downward directions used" 2 used
+
+let test_intra_isd_carries_peering () =
+  (* 0 core; 1, 2 customers of 0; 3 customer of 1; 1--2 peering.
+     The PCB stored at 3 carries 1's AS entry, which must advertise
+     1's peering link (§2.2). *)
+  let b = Graph.builder () in
+  let a0 = Graph.add_as b ~core:true (Id.ia 1 1) in
+  let a1 = Graph.add_as b (Id.ia 1 2) in
+  let a2 = Graph.add_as b (Id.ia 1 3) in
+  let a3 = Graph.add_as b (Id.ia 1 4) in
+  Graph.add_link b ~rel:Graph.Provider_customer a0 a1;
+  Graph.add_link b ~rel:Graph.Provider_customer a0 a2;
+  Graph.add_link b ~rel:Graph.Peering a1 a2;
+  Graph.add_link b ~rel:Graph.Provider_customer a1 a3;
+  let g = Graph.freeze b in
+  let peer_link =
+    (List.hd (Graph.links_between g a1 a2)).Graph.link_id
+  in
+  let cfg = { cfg_short with Beaconing.scope = Beaconing.Intra_isd } in
+  let out = Beaconing.run g cfg in
+  let now = cfg.Beaconing.duration -. 1.0 in
+  match Beacon_store.paths out.Beaconing.stores.(a3) ~now ~origin:a0 with
+  | [] -> Alcotest.fail "leaf must have a path"
+  | p :: _ ->
+      let hop_of_a1 =
+        Array.to_list p.Pcb.hops |> List.find (fun (h : Pcb.hop) -> h.Pcb.asn = a1)
+      in
+      Alcotest.(check bool) "AS 1 advertises its peering link" true
+        (Array.exists (fun l -> l = peer_link) hop_of_a1.Pcb.peers)
+
+let prop_beaconing_invariants =
+  (* Random connected multigraphs: spanning tree + extra random edges,
+     some parallel. Invariants checked for both algorithms: stored
+     paths are loop-free and consistent with the topology, storage
+     limits hold, byte accounting balances. *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 4 8 in
+      let* extra = list_size (int_range 0 6) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+      let* seed = int_bound 10_000 in
+      return (n, extra, seed))
+  in
+  QCheck.Test.make ~name:"beaconing invariants on random core graphs" ~count:15
+    (QCheck.make gen)
+    (fun (n, extra, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let b = Graph.builder () in
+      for i = 0 to n - 1 do
+        ignore (Graph.add_as b ~core:true (Id.ia ((i mod 3) + 1) (i + 1)))
+      done;
+      for i = 1 to n - 1 do
+        Graph.add_link b ~rel:Graph.Core (Rng.int rng i) i
+      done;
+      List.iter (fun (x, y) -> if x <> y then Graph.add_link b ~rel:Graph.Core x y) extra;
+      let g = Graph.freeze b in
+      let check_outcome (out : Beaconing.outcome) =
+        let now = out.Beaconing.config.Beaconing.duration -. 1.0 in
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          List.iter
+            (fun o ->
+              if Beacon_store.count out.Beaconing.stores.(v) ~origin:o > 4 then
+                ok := false;
+              List.iter
+                (fun p ->
+                  if Pcb.contains_as p v then ok := false;
+                  if not (path_is_consistent g p v) then ok := false)
+                (Beacon_store.paths out.Beaconing.stores.(v) ~now ~origin:o))
+            (Beacon_store.origins out.Beaconing.stores.(v))
+        done;
+        let sent = Array.fold_left ( +. ) 0.0 (Beaconing.sent_bytes_by_as out) in
+        let recv = Array.fold_left ( +. ) 0.0 (Beaconing.received_bytes_by_as out) in
+        if abs_float (sent -. recv) > 1e-6 then ok := false;
+        if abs_float (sent -. out.Beaconing.stats.Beaconing.total_bytes) > 1e-6 then
+          ok := false;
+        !ok
+      in
+      let cfg =
+        {
+          Beaconing.default_config with
+          Beaconing.duration = 600.0 *. 6.0;
+          Beaconing.storage_limit = 4;
+        }
+      in
+      check_outcome (Beaconing.run g cfg)
+      && check_outcome
+           (Beaconing.run g
+              {
+                cfg with
+                Beaconing.algorithm =
+                  Beacon_policy.Diversity Beacon_policy.default_div_params;
+              }))
+
+let test_rounds_count () =
+  let g = triangle () in
+  let out = Beaconing.run g cfg_short in
+  check Alcotest.int "rounds" 8 out.Beaconing.stats.Beaconing.rounds
+
+let test_received_sent_balance () =
+  let g = triangle () in
+  let out = Beaconing.run g cfg_short in
+  let sent = Array.fold_left ( +. ) 0.0 (Beaconing.sent_bytes_by_as out) in
+  let recv = Array.fold_left ( +. ) 0.0 (Beaconing.received_bytes_by_as out) in
+  Alcotest.(check (float 1e-6)) "conservation" sent recv;
+  Alcotest.(check (float 1e-6)) "matches total" out.Beaconing.stats.Beaconing.total_bytes sent
+
+let suite =
+  [
+    ("pcb origin", `Quick, test_pcb_origin);
+    ("pcb extend", `Quick, test_pcb_extend);
+    ("pcb extend_key", `Quick, test_pcb_extend_key);
+    QCheck_alcotest.to_alcotest prop_extend_key;
+    ("pcb wire bytes", `Quick, test_pcb_wire_bytes);
+    ("pcb age/remaining", `Quick, test_pcb_age_remaining);
+    ("store insert", `Quick, test_store_insert);
+    ("store refresh", `Quick, test_store_refresh);
+    ("store limit & eviction", `Quick, test_store_limit_and_eviction);
+    ("store expired rejected", `Quick, test_store_expired_rejected);
+    ("store paths sorted", `Quick, test_store_paths_sorted);
+    ("store prune", `Quick, test_store_prune);
+    ("store last modified", `Quick, test_store_last_modified);
+    QCheck_alcotest.to_alcotest prop_store_limit;
+    ("score fresh age zero", `Quick, test_score_fresh_age_zero);
+    ("score fresh decreasing in age", `Quick, test_score_fresh_decreasing_in_age);
+    ("score fresh increasing in ds", `Quick, test_score_fresh_increasing_in_ds);
+    ("score resend suppression", `Quick, test_score_resend_suppression);
+    ("score resend refresh", `Quick, test_score_resend_refresh);
+    ("score resend monotone", `Quick, test_score_resend_monotone);
+    ("diversity of gm", `Quick, test_diversity_of_gm);
+    ("crossing time", `Quick, test_crossing_time);
+    ("crossing never for same instance", `Quick, test_crossing_never_when_same_instance);
+    ("counters mean kinds (ablation)", `Quick, test_counters_mean_kinds);
+    ("diversity state counters", `Quick, test_diversity_state_counters);
+    ("diversity state sent list", `Quick, test_diversity_state_sent);
+    ("diversity state prune decrements", `Quick, test_diversity_state_prune_decrements);
+    ("diversity state gating", `Quick, test_diversity_state_gating);
+    ("baseline propagates", `Quick, test_baseline_propagates);
+    ("baseline shortest on chain", `Quick, test_baseline_shortest_on_chain);
+    ("diversity propagates", `Quick, test_diversity_propagates);
+    ("diversity cheaper than baseline", `Quick, test_diversity_cheaper_than_baseline);
+    ("diversity finds parallel links", `Quick, test_diversity_finds_parallel_links);
+    ("dissemination limit per iface", `Quick, test_dissemination_limit_per_iface);
+    ("crypto verification", `Quick, test_crypto_verification);
+    ("storage limit respected", `Quick, test_storage_limit_respected);
+    ("intra-ISD direction", `Quick, test_intra_isd_direction);
+    ("intra-ISD peering advertisement", `Quick, test_intra_isd_carries_peering);
+    QCheck_alcotest.to_alcotest prop_beaconing_invariants;
+    ("rounds count", `Quick, test_rounds_count);
+    ("received/sent balance", `Quick, test_received_sent_balance);
+  ]

@@ -1,0 +1,150 @@
+(* Tests for scion_experiments: the experiment harnesses at CI scale. *)
+
+let check = Alcotest.check
+
+let test_scales () =
+  (match Exp_common.scale_of_string "paper" with
+  | Ok s ->
+      let d = Exp_common.dimensions s in
+      check Alcotest.int "paper full" 12000 d.Exp_common.full_n;
+      check Alcotest.int "paper core" 2000 d.Exp_common.core_k;
+      check Alcotest.int "paper isd cores" 11 d.Exp_common.isd_cores;
+      check Alcotest.int "paper monitors" 26 d.Exp_common.monitors
+  | Error e -> Alcotest.fail e);
+  (match Exp_common.scale_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should reject");
+  check Alcotest.string "roundtrip" "tiny"
+    (Exp_common.scale_to_string
+       (Result.get_ok (Exp_common.scale_of_string "tiny")))
+
+let test_months_factor () =
+  Alcotest.(check (float 1e-9)) "6h windows per month" 120.0
+    (Exp_common.months_factor Exp_common.beacon_config)
+
+let test_sample_pairs () =
+  let g = Scionlab.generate Scionlab.default_params in
+  let pairs = Exp_common.sample_pairs g ~count:50 ~seed:1L in
+  check Alcotest.int "count" 50 (Array.length pairs);
+  Array.iter (fun (s, d) -> Alcotest.(check bool) "distinct" true (s <> d)) pairs;
+  let uniq = Array.to_list pairs |> List.sort_uniq compare in
+  check Alcotest.int "no duplicates" 50 (List.length uniq);
+  let again = Exp_common.sample_pairs g ~count:50 ~seed:1L in
+  check Alcotest.bool "deterministic" true (pairs = again)
+
+let prepared = lazy (Exp_common.prepare Exp_common.Tiny)
+
+let test_prepare_consistency () =
+  let p = Lazy.force prepared in
+  let d = Exp_common.dimensions Exp_common.Tiny in
+  check Alcotest.int "full size" d.Exp_common.full_n (Graph.n p.Exp_common.full);
+  Alcotest.(check bool) "core size ~k" true
+    (Graph.n p.Exp_common.core <= d.Exp_common.core_k);
+  (* Monitors exist in both graphs and match by the old/new mapping. *)
+  List.iter2
+    (fun mf mc ->
+      check Alcotest.int "monitor mapping" mf p.Exp_common.core_old_of_new.(mc))
+    p.Exp_common.monitors_full p.Exp_common.monitors_core;
+  (* ISD has the requested core count. *)
+  check Alcotest.int "isd cores" d.Exp_common.isd_cores
+    (List.length (Graph.core_ases p.Exp_common.isd))
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_table1_shape () =
+  check Alcotest.int "seven components" 7 (List.length Table1.components);
+  let rendered = Table1.render () in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in table" c.Table1.name)
+        true
+        (contains_substring rendered c.Table1.name))
+    Table1.components
+
+let test_table1_against_paper () =
+  let find name =
+    List.find (fun c -> c.Table1.name = name) Table1.components
+  in
+  (* Spot-check the classification against Table 1. *)
+  let cb = find "Core Beaconing" in
+  Alcotest.(check bool) "core beaconing global+minutes" true
+    (cb.Table1.scope = Table1.Global_scope && cb.Table1.frequency = Table1.Minutes);
+  let el = find "Endpoint Path Lookup" in
+  Alcotest.(check bool) "endpoint lookup AS+seconds" true
+    (el.Table1.scope = Table1.As_scope && el.Table1.frequency = Table1.Seconds);
+  let dl = find "Down-Path Segment Lookup" in
+  Alcotest.(check bool) "down lookup global+hours" true
+    (dl.Table1.scope = Table1.Global_scope && dl.Table1.frequency = Table1.Hours)
+
+let test_scionlab_experiment () =
+  let r = Scionlab_exp.run () in
+  check Alcotest.int "210 pairs" 210 (Array.length r.Scionlab_exp.pairs);
+  check Alcotest.int "six algos" 6 (List.length r.Scionlab_exp.algos);
+  (* Flows bounded by optimum; measurement equals baseline(5). *)
+  let find name = List.find (fun a -> a.Scionlab_exp.name = name) r.Scionlab_exp.algos in
+  let meas = find "Measurement" and base5 = find "SCION Baseline (5)" in
+  check (Alcotest.array Alcotest.int) "measurement = baseline(5)"
+    meas.Scionlab_exp.flows base5.Scionlab_exp.flows;
+  List.iter
+    (fun a ->
+      Array.iteri
+        (fun i f ->
+          Alcotest.(check bool) "bounded by optimum" true
+            (f <= r.Scionlab_exp.optimum.(i)))
+        a.Scionlab_exp.flows)
+    r.Scionlab_exp.algos;
+  (* Diversity with a bigger store is never worse on average. *)
+  let mean a =
+    let s = Array.fold_left ( + ) 0 a.Scionlab_exp.flows in
+    float_of_int s /. float_of_int (Array.length a.Scionlab_exp.flows)
+  in
+  Alcotest.(check bool) "div(60) >= div(5) on average" true
+    (mean (find "SCION Diversity (60)") >= mean (find "SCION Diversity (5)") -. 1e-9);
+  (* Fig. 9 distribution is non-empty with positive rates. *)
+  Alcotest.(check bool) "iface rates present" true
+    (Array.length r.Scionlab_exp.iface_bps > 0);
+  Array.iter
+    (fun b -> Alcotest.(check bool) "non-negative" true (b >= 0.0))
+    r.Scionlab_exp.iface_bps
+
+let test_tuning_evaluate () =
+  (* A small-diameter core so refresh waves complete within the short
+     lifetime used by the tuning objective. *)
+  let g =
+    Scionlab.generate { Scionlab.default_params with Scionlab.n_core = 8; chords = 3 }
+  in
+  let o = Tuning.evaluate ~duration_rounds:16 ~lifetime_rounds:12 g Beacon_policy.default_div_params in
+  Alcotest.(check bool) "connectivity reached" true (o.Tuning.connectivity > 0.9);
+  Alcotest.(check bool) "some overhead" true (o.Tuning.overhead_bytes > 0.0);
+  Alcotest.(check bool) "capacity fraction in [0,1]" true
+    (o.Tuning.capacity_fraction >= 0.0 && o.Tuning.capacity_fraction <= 1.0)
+
+let test_table1_measure () =
+  let measured = Table1.measure Exp_common.Tiny in
+  check Alcotest.int "seven measured components" 7 (List.length measured);
+  let get name = List.find (fun m -> m.Table1.component = name) measured in
+  Alcotest.(check bool) "core beaconing has traffic" true
+    ((get "Core Beaconing").Table1.bytes > 0.0);
+  Alcotest.(check bool) "intra beaconing has traffic" true
+    ((get "Intra-ISD Beaconing").Table1.bytes > 0.0);
+  Alcotest.(check bool) "registrations happened" true
+    ((get "Path (De-)Registration").Table1.messages > 0.0);
+  Alcotest.(check bool) "lookups happened" true
+    ((get "Endpoint Path Lookup").Table1.messages > 0.0)
+
+let suite =
+  [
+    ("scales", `Quick, test_scales);
+    ("months factor", `Quick, test_months_factor);
+    ("sample pairs", `Quick, test_sample_pairs);
+    ("prepare consistency", `Quick, test_prepare_consistency);
+    ("table1 shape", `Quick, test_table1_shape);
+    ("table1 against paper", `Quick, test_table1_against_paper);
+    ("scionlab experiment", `Slow, test_scionlab_experiment);
+    ("tuning evaluate", `Quick, test_tuning_evaluate);
+    ("table1 measure", `Slow, test_table1_measure);
+  ]

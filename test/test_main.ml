@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "scion"
+    [
+      ("util", Test_util.suite);
+      ("crypto", Test_crypto.suite);
+      ("types", Test_types.suite);
+      ("topology", Test_topology.suite);
+      ("sim", Test_sim.suite);
+      ("core", Test_core.suite);
+      ("bgp", Test_bgp.suite);
+      ("bgp-sim", Test_bgp_sim.suite);
+      ("latency", Test_latency.suite);
+      ("wire-lookup", Test_wire_lookup.suite);
+      ("filter", Test_filter.suite);
+      ("pcb-codec", Test_pcb_codec.suite);
+      ("analysis", Test_analysis.suite);
+      ("segments", Test_segments.suite);
+      ("dataplane", Test_dataplane.suite);
+      ("deployment", Test_deployment.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,100 @@
+(* Tests for scion_sim: the discrete-event engine and metrics. *)
+
+let check = Alcotest.check
+
+let test_des_ordering () =
+  let sim = Des.create () in
+  let log = ref [] in
+  Des.schedule sim ~delay:3.0 (fun _ -> log := 3 :: !log);
+  Des.schedule sim ~delay:1.0 (fun _ -> log := 1 :: !log);
+  Des.schedule sim ~delay:2.0 (fun _ -> log := 2 :: !log);
+  Des.run sim;
+  check (Alcotest.list Alcotest.int) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_des_fifo_same_time () =
+  let sim = Des.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Des.schedule sim ~delay:1.0 (fun _ -> log := i :: !log)
+  done;
+  Des.run sim;
+  check (Alcotest.list Alcotest.int) "fifo at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_des_clock_advances () =
+  let sim = Des.create () in
+  let seen = ref 0.0 in
+  Des.schedule sim ~delay:5.5 (fun s -> seen := Des.now s);
+  Des.run sim;
+  Alcotest.(check (float 1e-9)) "clock at event time" 5.5 !seen
+
+let test_des_nested_scheduling () =
+  let sim = Des.create () in
+  let fired = ref [] in
+  Des.schedule sim ~delay:1.0 (fun s ->
+      fired := Des.now s :: !fired;
+      Des.schedule s ~delay:2.0 (fun s' -> fired := Des.now s' :: !fired));
+  Des.run sim;
+  check (Alcotest.list (Alcotest.float 1e-9)) "nested event at 3.0" [ 1.0; 3.0 ]
+    (List.rev !fired)
+
+let test_des_run_until () =
+  let sim = Des.create () in
+  let count = ref 0 in
+  Des.every sim ~interval:1.0 (fun _ -> incr count);
+  Des.run ~until:5.5 sim;
+  check Alcotest.int "five firings" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock at until" 5.5 (Des.now sim);
+  Alcotest.(check bool) "event still pending" true (Des.pending sim > 0)
+
+let test_des_every_until () =
+  let sim = Des.create () in
+  let count = ref 0 in
+  Des.every sim ~interval:1.0 ~start:0.0 ~until:3.0 (fun _ -> incr count);
+  Des.run sim;
+  check Alcotest.int "fires at 0,1,2,3" 4 !count
+
+let test_des_negative_delay () =
+  let sim = Des.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Des.schedule: negative delay")
+    (fun () -> Des.schedule sim ~delay:(-1.0) (fun _ -> ()))
+
+let test_des_past_time () =
+  let sim = Des.create () in
+  Des.schedule sim ~delay:2.0 (fun _ -> ());
+  Des.run sim;
+  Alcotest.check_raises "past" (Invalid_argument "Des.schedule_at: time is in the past")
+    (fun () -> Des.schedule_at sim ~time:1.0 (fun _ -> ()))
+
+let test_des_step () =
+  let sim = Des.create () in
+  Des.schedule sim ~delay:1.0 (fun _ -> ());
+  Alcotest.(check bool) "one step" true (Des.step sim);
+  Alcotest.(check bool) "empty" false (Des.step sim)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.add m "bytes" 10.0;
+  Metrics.add m "bytes" 5.0;
+  Metrics.incr m "msgs";
+  Alcotest.(check (float 1e-9)) "sum" 15.0 (Metrics.get m "bytes");
+  Alcotest.(check (float 1e-9)) "incr" 1.0 (Metrics.get m "msgs");
+  Alcotest.(check (float 1e-9)) "unknown" 0.0 (Metrics.get m "nope");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 1e-9)))
+    "sorted" [ ("bytes", 15.0); ("msgs", 1.0) ] (Metrics.to_sorted_list m);
+  Metrics.reset m;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Metrics.get m "bytes")
+
+let suite =
+  [
+    ("des ordering", `Quick, test_des_ordering);
+    ("des fifo same time", `Quick, test_des_fifo_same_time);
+    ("des clock advances", `Quick, test_des_clock_advances);
+    ("des nested scheduling", `Quick, test_des_nested_scheduling);
+    ("des run until", `Quick, test_des_run_until);
+    ("des every until", `Quick, test_des_every_until);
+    ("des negative delay", `Quick, test_des_negative_delay);
+    ("des past time", `Quick, test_des_past_time);
+    ("des step", `Quick, test_des_step);
+    ("metrics", `Quick, test_metrics);
+  ]
