@@ -12,7 +12,12 @@
       primitives everything rests on, and the ablation comparing the
       baseline and diversity selection rounds.
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe [-- --quick] [-- --out FILE]
+
+   --quick runs a smoke-test subset (taxonomy + SCIONLab regeneration,
+   50 ms Bechamel quota) for CI; the full mode regenerates every
+   artefact with a 500 ms quota. Either way the measured estimates are
+   written as machine-readable JSON (default bench.json). *)
 
 open Bechamel
 open Toolkit
@@ -28,15 +33,24 @@ let bench_beacon =
     Beaconing.duration = 600.0 *. 12.0 (* 2 h horizon keeps bench time sane *);
   }
 
-let regenerate () =
-  line "Table 1 — path management overhead comparison";
-  Table1.print ~measured:(Table1.measure Exp_common.Tiny) ();
-  line "Figure 5 — control-plane overhead relative to BGP (bench scale)";
-  Fig5.print (Fig5.run ~beacon:bench_beacon Exp_common.Tiny);
-  line "Figure 6 — path quality (bench scale)";
-  Fig6.print (Fig6.run ~beacon:bench_beacon ~storage_limits:[ 15; 60 ] Exp_common.Tiny);
-  line "Figures 7/8/9 — SCIONLab testbed (Appendix B)";
-  Scionlab_exp.print (Scionlab_exp.run ())
+let regenerate ~quick () =
+  if quick then begin
+    (* Smoke subset: the cheap taxonomy plus the 21-AS testbed run. *)
+    line "Table 1 — path management overhead comparison";
+    Table1.print ();
+    line "Figures 7/8/9 — SCIONLab testbed (Appendix B)";
+    Scionlab_exp.print (Scionlab_exp.run ())
+  end
+  else begin
+    line "Table 1 — path management overhead comparison";
+    Table1.print ~measured:(Table1.measure Exp_common.Tiny) ();
+    line "Figure 5 — control-plane overhead relative to BGP (bench scale)";
+    Fig5.print (Fig5.run ~beacon:bench_beacon Exp_common.Tiny);
+    line "Figure 6 — path quality (bench scale)";
+    Fig6.print (Fig6.run ~beacon:bench_beacon ~storage_limits:[ 15; 60 ] Exp_common.Tiny);
+    line "Figures 7/8/9 — SCIONLab testbed (Appendix B)";
+    Scionlab_exp.print (Scionlab_exp.run ())
+  end
 
 (* --- Part 2: micro-benchmarks -------------------------------------- *)
 
@@ -140,10 +154,12 @@ let tests =
               ~links:[| 1; 2; 3; 4; 5 |] ~extra:6));
   ]
 
-let run_benchmarks () =
+let run_benchmarks ~quick () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let quota = if quick then Time.millisecond 50.0 else Time.second 0.5 in
+  let limit = if quick then 200 else 2000 in
+  let cfg = Benchmark.cfg ~limit ~quota ~kde:(Some 1000) () in
   let raw =
     Benchmark.all cfg instances
       (Test.make_grouped ~name:"scion" ~fmt:"%s %s" tests)
@@ -175,10 +191,46 @@ let run_benchmarks () =
              else Printf.sprintf "%.0f ns" ns
            in
            [ name; pretty ])
-         rows)
+         rows);
+  rows
+
+(* Machine-readable results, one object per benchmark with the OLS
+   nanoseconds-per-run estimate. Consumed by CI trend tracking. *)
+let write_json ~file ~quick ~elapsed_s rows =
+  let result (name, ns) =
+    Obs_json.Obj
+      [ ("name", Obs_json.String name); ("ns_per_run", Obs_json.Float ns) ]
+  in
+  let doc =
+    Obs_json.Obj
+      [
+        ("schema", Obs_json.String "scion-bench/1");
+        ("quick", Obs_json.Bool quick);
+        ("elapsed_s", Obs_json.Float elapsed_s);
+        ("results", Obs_json.List (List.map result rows));
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Obs_json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "results written to %s\n" file
 
 let () =
+  let quick = ref false in
+  let out = ref "bench.json" in
+  let spec =
+    [
+      ("--quick", Arg.Set quick, " smoke mode: reduced regeneration, 50 ms quota");
+      ("--out", Arg.Set_string out, "FILE JSON results file (default bench.json)");
+    ]
+  in
+  Arg.parse (Arg.align spec)
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench/main.exe [--quick] [--out FILE]";
   let t0 = Unix.gettimeofday () in
-  regenerate ();
-  run_benchmarks ();
-  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)
+  regenerate ~quick:!quick ();
+  let rows = run_benchmarks ~quick:!quick () in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  write_json ~file:!out ~quick:!quick ~elapsed_s rows;
+  Printf.printf "\n[bench completed in %.1f s]\n" elapsed_s

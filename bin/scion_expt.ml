@@ -20,7 +20,7 @@ let scale_term =
     value
     & opt scale_arg Exp_common.Tiny
     & info [ "scale" ] ~docv:"SCALE"
-        ~doc:"Experiment scale: tiny, small, medium or paper (\\u00a75.1 sizes).")
+        ~doc:"Experiment scale: tiny, small, medium or paper (\xc2\xa75.1 sizes).")
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
@@ -28,36 +28,111 @@ let timed name f =
   Printf.printf "\n[%s finished in %.1f s]\n%!" name (Unix.gettimeofday () -. t0);
   r
 
+(* Shared observability flags: every subcommand accepts --metrics-out,
+   --metrics-csv and --trace, and runs under an Obs context that is
+   Obs.disabled (zero-cost) unless at least one flag is given. *)
+
+let level_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Trace.level_of_string s) in
+  let print fmt l = Format.pp_print_string fmt (Trace.level_to_string l) in
+  Arg.conv (parse, print)
+
+let obs_term =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write metrics (labeled counters, gauges, histograms), phase timers \
+             and the retained trace tail as JSON to $(docv) when the command \
+             finishes.")
+  in
+  let metrics_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-csv" ] ~docv:"FILE"
+          ~doc:"Write the final metric snapshot as CSV to $(docv).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some level_arg) None
+      & info [ "trace" ] ~docv:"LEVEL"
+          ~doc:
+            "Enable structured tracing at $(docv) (error, warn, info or debug). \
+             Events stream to stderr; the most recent 4096 are also kept for \
+             --metrics-out.")
+  in
+  Term.(
+    const (fun metrics_out metrics_csv trace -> (metrics_out, metrics_csv, trace))
+    $ metrics_out $ metrics_csv $ trace)
+
+let with_obs (metrics_out, metrics_csv, trace) f =
+  match (metrics_out, metrics_csv, trace) with
+  | None, None, None -> f Obs.disabled
+  | _ ->
+      let tr =
+        match trace with
+        | None -> Trace.null
+        | Some level -> Trace.create ~sink:Trace.Stderr level
+      in
+      let obs = Obs.create ~trace:tr () in
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter
+            (fun file ->
+              Obs.write_json_file obs file;
+              Printf.eprintf "metrics written to %s\n%!" file)
+            metrics_out;
+          Option.iter
+            (fun file ->
+              Obs.write_csv_file obs file;
+              Printf.eprintf "metrics CSV written to %s\n%!" file)
+            metrics_csv)
+        (fun () -> f obs)
+
 let table1_cmd =
   let measure =
     Arg.(value & flag & info [ "measure" ] ~doc:"Also run the grounding simulation.")
   in
-  let run scale measure =
-    timed "table1" (fun () ->
-        if measure then Table1.print ~measured:(Table1.measure scale) ()
-        else Table1.print ())
+  let run scale measure obs_opts =
+    with_obs obs_opts (fun obs ->
+        timed "table1" (fun () ->
+            if measure then Table1.print ~measured:(Table1.measure ~obs scale) ()
+            else Table1.print ()))
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Table 1: control-plane overhead taxonomy")
-    Term.(const run $ scale_term $ measure)
+    Term.(const run $ scale_term $ measure $ obs_term)
 
 let fig5_cmd =
-  let run scale = timed "fig5" (fun () -> Fig5.print (Fig5.run scale)) in
+  let run scale obs_opts =
+    with_obs obs_opts (fun obs ->
+        timed "fig5" (fun () -> Fig5.print (Fig5.run ~obs scale)))
+  in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Figure 5: control-plane overhead relative to BGP")
-    Term.(const run $ scale_term)
+    Term.(const run $ scale_term $ obs_term)
 
 let fig6_cmd =
-  let run scale = timed "fig6" (fun () -> Fig6.print (Fig6.run scale)) in
+  let run scale obs_opts =
+    with_obs obs_opts (fun obs ->
+        timed "fig6" (fun () -> Fig6.print (Fig6.run ~obs scale)))
+  in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Figure 6: path quality (resilience and capacity)")
-    Term.(const run $ scale_term)
+    Term.(const run $ scale_term $ obs_term)
 
 let scionlab_cmd =
-  let run () = timed "scionlab" (fun () -> Scionlab_exp.print (Scionlab_exp.run ())) in
+  let run obs_opts =
+    with_obs obs_opts (fun obs ->
+        timed "scionlab" (fun () -> Scionlab_exp.print (Scionlab_exp.run ~obs ())))
+  in
   Cmd.v
     (Cmd.info "scionlab" ~doc:"Appendix B: SCIONLab figures 7, 8 and 9")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 let tune_cmd =
   let cores =
@@ -88,44 +163,49 @@ let convergence_cmd =
   let failures =
     Arg.(value & opt int 5 & info [ "failures" ] ~docv:"N" ~doc:"Links to fail.")
   in
-  let run scale failures =
-    timed "convergence" (fun () ->
-        Convergence.print (Convergence.run ~n_failures:failures scale))
+  let run scale failures obs_opts =
+    with_obs obs_opts (fun obs ->
+        timed "convergence" (fun () ->
+            Convergence.print (Convergence.run ~obs ~n_failures:failures scale)))
   in
   Cmd.v
     (Cmd.info "convergence"
        ~doc:"BGP reconvergence vs SCION failover after link failures")
-    Term.(const run $ scale_term $ failures)
+    Term.(const run $ scale_term $ failures $ obs_term)
 
 let latency_cmd =
-  let run scale = timed "latency" (fun () -> Latency_exp.print (Latency_exp.run scale)) in
+  let run scale obs_opts =
+    with_obs obs_opts (fun obs ->
+        timed "latency" (fun () -> Latency_exp.print (Latency_exp.run ~obs scale)))
+  in
   Cmd.v
     (Cmd.info "latency"
        ~doc:"Latency-aware path construction (section 4.2 'other criteria' extension)")
-    Term.(const run $ scale_term)
+    Term.(const run $ scale_term $ obs_term)
 
 let lookup_cmd =
   let requests =
     Arg.(value & opt int 50000 & info [ "requests" ] ~docv:"N" ~doc:"Lookup requests.")
   in
-  let run requests =
-    timed "lookup" (fun () ->
-        let base = { Lookup_sim.default_params with Lookup_sim.requests } in
-        let configs =
-          List.concat_map
-            (fun s ->
-              List.map
-                (fun cache -> { base with Lookup_sim.zipf_s = s; Lookup_sim.cache })
-                [ true; false ])
-            [ 0.8; 1.1; 1.4 ]
-        in
-        print_endline
-          "Down-path segment lookup with caching under Zipf popularity (section 4.1):";
-        Lookup_sim.print_sweep (List.map Lookup_sim.run configs))
+  let run requests obs_opts =
+    with_obs obs_opts (fun obs ->
+        timed "lookup" (fun () ->
+            let base = { Lookup_sim.default_params with Lookup_sim.requests } in
+            let configs =
+              List.concat_map
+                (fun s ->
+                  List.map
+                    (fun cache -> { base with Lookup_sim.zipf_s = s; Lookup_sim.cache })
+                    [ true; false ])
+                [ 0.8; 1.1; 1.4 ]
+            in
+            print_endline
+              "Down-path segment lookup with caching under Zipf popularity (section 4.1):";
+            Lookup_sim.print_sweep (List.map (Lookup_sim.run ~obs) configs)))
   in
   Cmd.v
     (Cmd.info "lookup" ~doc:"Path-lookup caching simulation (section 4.1)")
-    Term.(const run $ requests)
+    Term.(const run $ requests $ obs_term)
 
 let topo_cmd =
   let save =
@@ -164,23 +244,24 @@ let topo_cmd =
     Term.(const run $ scale_term $ save)
 
 let all_cmd =
-  let run scale =
-    timed "all" (fun () ->
-        Table1.print ~measured:(Table1.measure scale) ();
-        print_newline ();
-        Fig5.print (Fig5.run scale);
-        print_newline ();
-        Fig6.print (Fig6.run scale);
-        print_newline ();
-        Scionlab_exp.print (Scionlab_exp.run ());
-        print_newline ();
-        Convergence.print (Convergence.run scale);
-        print_newline ();
-        Latency_exp.print (Latency_exp.run scale))
+  let run scale obs_opts =
+    with_obs obs_opts (fun obs ->
+        timed "all" (fun () ->
+            Table1.print ~measured:(Table1.measure ~obs scale) ();
+            print_newline ();
+            Fig5.print (Fig5.run ~obs scale);
+            print_newline ();
+            Fig6.print (Fig6.run ~obs scale);
+            print_newline ();
+            Scionlab_exp.print (Scionlab_exp.run ~obs ());
+            print_newline ();
+            Convergence.print (Convergence.run ~obs scale);
+            print_newline ();
+            Latency_exp.print (Latency_exp.run ~obs scale)))
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at the given scale")
-    Term.(const run $ scale_term)
+    Term.(const run $ scale_term $ obs_term)
 
 let () =
   let info =

@@ -55,6 +55,13 @@ type t = {
   des : Des.t;
   nodes : node array;
   st : stats_mut;
+  (* Observability cells, hoisted at creation (one branch per update
+     when disabled). *)
+  obs_on : bool;
+  tr : Trace.t;
+  c_updates : float ref;
+  c_withdrawals : float ref;
+  c_bytes : float ref;
 }
 
 type stats = {
@@ -66,7 +73,7 @@ type stats = {
   last_route_change : float;
 }
 
-let create g config =
+let create ?(obs = Obs.disabled) g config =
   let n = Graph.n g in
   let nodes =
     Array.init n (fun idx ->
@@ -96,11 +103,29 @@ let create g config =
           busy_until = 0.0;
         })
   in
+  let obs_on = Obs.on obs in
+  let proto_labels =
+    [ ("proto", if config.bgpsec then "bgpsec" else "bgp") ]
+  in
+  let c_updates, c_withdrawals, c_bytes =
+    if obs_on then begin
+      let reg = Obs.registry obs in
+      ( Registry.counter reg ~labels:proto_labels "bgp_updates_sent_total",
+        Registry.counter reg ~labels:proto_labels "bgp_withdrawals_sent_total",
+        Registry.counter reg ~labels:proto_labels "bgp_bytes_sent_total" )
+    end
+    else (ref 0.0, ref 0.0, ref 0.0)
+  in
   {
     graph = g;
     config;
-    des = Des.create ();
+    des = Des.create ~obs ();
     nodes;
+    obs_on;
+    tr = Obs.trace obs;
+    c_updates;
+    c_withdrawals;
+    c_bytes;
     st =
       {
         updates_sent = 0;
@@ -218,6 +243,27 @@ let rec flush_session t node (s : session) =
             | Some _ -> t.st.updates_sent <- t.st.updates_sent + 1
             | None -> t.st.withdrawals_sent <- t.st.withdrawals_sent + 1);
             t.st.bytes_sent <- t.st.bytes_sent +. size;
+            if t.obs_on then begin
+              (match announce with
+              | Some _ -> t.c_updates := !(t.c_updates) +. 1.0
+              | None -> t.c_withdrawals := !(t.c_withdrawals) +. 1.0);
+              t.c_bytes := !(t.c_bytes) +. size;
+              if Trace.enabled t.tr Trace.Debug then
+                Trace.emit t.tr Trace.Debug ~time:now ~category:"bgp"
+                  ~fields:
+                    [
+                      ("from", string_of_int node.idx);
+                      ("to", string_of_int s.neighbor);
+                      ("prefix", string_of_int prefix);
+                      ( "path_len",
+                        match announce with
+                        | Some p -> string_of_int (List.length p)
+                        | None -> "0" );
+                    ]
+                  (match announce with
+                  | Some _ -> "update sent"
+                  | None -> "withdrawal sent")
+            end;
             let receiver = s.neighbor in
             let sender = node.idx in
             Des.schedule t.des ~delay:t.config.propagation_delay (fun _ ->
@@ -256,6 +302,18 @@ and reconsider t node prefix =
     | Some r -> Hashtbl.replace node.best prefix r
     | None -> Hashtbl.remove node.best prefix);
     t.st.last_route_change <- Des.now t.des;
+    if t.obs_on && Trace.enabled t.tr Trace.Debug then
+      Trace.emit t.tr Trace.Debug ~time:(Des.now t.des) ~category:"bgp"
+        ~fields:
+          [
+            ("as", string_of_int node.idx);
+            ("prefix", string_of_int prefix);
+            ( "path_len",
+              match winner with
+              | Some r -> string_of_int (List.length r.path)
+              | None -> "0" );
+          ]
+        "best route changed";
     schedule_exports t node prefix
   end
 
@@ -353,13 +411,27 @@ let restore_link t l =
   raise_ lk.Graph.b lk.Graph.a
 
 let run_to_quiescence ?(max_time = 3600.0) t =
-  let deadline = Des.now t.des +. max_time in
+  let t_start = Des.now t.des in
+  let updates_before = t.st.updates_sent + t.st.withdrawals_sent in
+  let deadline = t_start +. max_time in
   let continue = ref true in
   while !continue do
     if Des.pending t.des = 0 || Des.now t.des > deadline then continue := false
     else ignore (Des.step t.des)
   done;
-  Des.now t.des
+  let t_end = Des.now t.des in
+  if t.obs_on && Trace.enabled t.tr Trace.Info then
+    Trace.emit t.tr Trace.Info ~time:t_end ~category:"bgp"
+      ~fields:
+        [
+          ("start", Printf.sprintf "%.3f" t_start);
+          ("duration", Printf.sprintf "%.3f" (t_end -. t_start));
+          ( "messages",
+            string_of_int
+              (t.st.updates_sent + t.st.withdrawals_sent - updates_before) );
+        ]
+      "convergence epoch complete";
+  t_end
 
 let best_path t ~src ~prefix =
   match Hashtbl.find_opt t.nodes.(src).best prefix with

@@ -32,8 +32,17 @@ val default_config : config
 
 type t
 
-val create : Graph.t -> config -> t
-(** Build per-AS RIBs and BGP sessions; nothing is announced yet. *)
+val create : ?obs:Obs.t -> Graph.t -> config -> t
+(** Build per-AS RIBs and BGP sessions; nothing is announced yet.
+
+    With an enabled [obs] context (default {!Obs.disabled}) the
+    simulator maintains
+    [bgp_{updates,withdrawals,bytes}_sent_total] counters labeled
+    [{proto}] ([bgp] or [bgpsec]), emits [bgp]-category trace events
+    (per-message sends and best-route changes at [Debug], convergence
+    epochs at [Info]) and passes [obs] to its internal {!Des.create},
+    so the event engine's [des_events_total] / [des_queue_depth]
+    instrumentation is active too. *)
 
 val sim : t -> Des.t
 (** The underlying event engine (shared clock). *)

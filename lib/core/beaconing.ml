@@ -54,7 +54,62 @@ let eligible_dir scope (h : Graph.half_link) =
 
 let key_id v = "as:" ^ string_of_int v
 
-let run ?on_round g cfg =
+let algo_label = function
+  | Beacon_policy.Baseline -> "baseline"
+  | Beacon_policy.Diversity _ -> "diversity"
+  | Beacon_policy.Latency_aware _ -> "latency"
+
+let scope_label = function Core_beaconing -> "core" | Intra_isd -> "intra-isd"
+
+(* Export an outcome's byte-level accounting into [obs]: the directed
+   per-interface byte distribution as a histogram (the Fig. 9 view) and
+   the [top] busiest interfaces as pcb_bytes{as,ifid} labeled counters
+   (bounded so paper-scale runs do not explode the export). *)
+let observe ?(top = 16) obs (outcome : outcome) =
+  if Obs.on obs then begin
+    let g = outcome.graph in
+    let stats = outcome.stats in
+    let labels =
+      [
+        ("algo", algo_label outcome.config.algorithm);
+        ("scope", scope_label outcome.config.scope);
+      ]
+    in
+    let reg = Obs.registry obs in
+    let h = Registry.histogram reg ~labels "beacon_iface_bytes" in
+    Array.iter (Histogram.observe h) stats.bytes_on_iface;
+    let m = Array.length stats.bytes_on_iface in
+    let idx = Array.init m Fun.id in
+    Array.sort
+      (fun a b -> compare stats.bytes_on_iface.(b) stats.bytes_on_iface.(a))
+      idx;
+    for i = 0 to min top m - 1 do
+      let d = idx.(i) in
+      let lk = Graph.link g (d / 2) in
+      let sender = if d land 1 = 0 then lk.Graph.a else lk.Graph.b in
+      let ifid = Graph.iface_of lk sender in
+      Registry.add reg "pcb_bytes"
+        ~labels:
+          (("as", string_of_int sender)
+          :: ("ifid", string_of_int ifid)
+          :: labels)
+        stats.bytes_on_iface.(d)
+    done;
+    let trc = Obs.trace obs in
+    if Trace.enabled trc Trace.Info then
+      Trace.emit trc Trace.Info ~time:outcome.config.duration ~category:"beacon"
+        ~fields:
+          [
+            ("algo", algo_label outcome.config.algorithm);
+            ("scope", scope_label outcome.config.scope);
+            ("rounds", string_of_int stats.rounds);
+            ("total_pcbs", string_of_int stats.total_pcbs);
+            ("total_bytes", Printf.sprintf "%.0f" stats.total_bytes);
+          ]
+        "beaconing complete"
+  end
+
+let run ?(obs = Obs.disabled) ?on_round g cfg =
   if cfg.interval <= 0.0 then invalid_arg "Beaconing.run: interval must be positive";
   if cfg.dissemination_limit < 1 then
     invalid_arg "Beaconing.run: dissemination limit must be >= 1";
@@ -71,6 +126,24 @@ let run ?on_round g cfg =
       crypto_failures = 0;
       rounds;
     }
+  in
+  (* Observability cells, hoisted so the send path pays one branch when
+     disabled (the [Obs.disabled] default). *)
+  let obs_on = Obs.on obs in
+  let tr = Obs.trace obs in
+  let obs_labels =
+    [ ("algo", algo_label cfg.algorithm); ("scope", scope_label cfg.scope) ]
+  in
+  let c_sent, c_bytes, c_originated, c_filtered, c_crypto_fail =
+    if obs_on then begin
+      let reg = Obs.registry obs in
+      ( Registry.counter reg ~labels:obs_labels "beacon_pcbs_sent_total",
+        Registry.counter reg ~labels:obs_labels "beacon_bytes_sent_total",
+        Registry.counter reg ~labels:obs_labels "beacon_pcbs_originated_total",
+        Registry.counter reg ~labels:obs_labels "beacon_pcbs_filtered_total",
+        Registry.counter reg ~labels:obs_labels "beacon_crypto_failures_total" )
+    end
+    else (ref 0.0, ref 0.0, ref 0.0, ref 0.0, ref 0.0)
   in
   (* Outgoing eligible interfaces, grouped by neighbor AS. *)
   let out_links =
@@ -185,7 +258,20 @@ let run ?on_round g cfg =
     stats.total_pcbs <- stats.total_pcbs + 1;
     outbox := { pcb = ext; via = h.Graph.via; receiver = h.Graph.peer } :: !outbox;
     incr outbox_len;
-    ignore now
+    if obs_on then begin
+      c_sent := !c_sent +. 1.0;
+      c_bytes := !c_bytes +. size;
+      if Trace.enabled tr Trace.Debug then
+        Trace.emit tr Trace.Debug ~time:now ~category:"beacon"
+          ~fields:
+            [
+              ("as", string_of_int sender);
+              ("ifid", string_of_int h.Graph.local_if);
+              ("receiver", string_of_int h.Graph.peer);
+              ("bytes", Printf.sprintf "%.0f" size);
+            ]
+          "pcb propagated"
+    end
   in
 
   (* --- Baseline selection: P shortest per origin per interface. --- *)
@@ -197,9 +283,19 @@ let run ?on_round g cfg =
       | Some c -> c
       | None ->
           let c =
-            if o = x then [ Pcb.origin_pcb ~origin:x ~now ~lifetime:cfg.lifetime ]
-            else
-              List.filter (policy_allows x) (Beacon_store.paths store ~now ~origin:o)
+            if o = x then begin
+              if obs_on then c_originated := !c_originated +. 1.0;
+              [ Pcb.origin_pcb ~origin:x ~now ~lifetime:cfg.lifetime ]
+            end
+            else begin
+              let all = Beacon_store.paths store ~now ~origin:o in
+              let kept = List.filter (policy_allows x) all in
+              if obs_on then
+                c_filtered :=
+                  !c_filtered
+                  +. float_of_int (List.length all - List.length kept);
+              kept
+            end
           in
           Hashtbl.replace cand_cache o c;
           c
@@ -241,9 +337,19 @@ let run ?on_round g cfg =
       | Some c -> c
       | None ->
           let c =
-            if o = x then [ Pcb.origin_pcb ~origin:x ~now ~lifetime:cfg.lifetime ]
-            else
-              List.filter (policy_allows x) (Beacon_store.paths store ~now ~origin:o)
+            if o = x then begin
+              if obs_on then c_originated := !c_originated +. 1.0;
+              [ Pcb.origin_pcb ~origin:x ~now ~lifetime:cfg.lifetime ]
+            end
+            else begin
+              let all = Beacon_store.paths store ~now ~origin:o in
+              let kept = List.filter (policy_allows x) all in
+              if obs_on then
+                c_filtered :=
+                  !c_filtered
+                  +. float_of_int (List.length all - List.length kept);
+              kept
+            end
           in
           Hashtbl.replace cand_cache o c;
           c
@@ -405,7 +511,16 @@ let run ?on_round g cfg =
           end
         in
         if accept then ignore (Beacon_store.insert stores.(m.receiver) ~now m.pcb)
-        else stats.crypto_failures <- stats.crypto_failures + 1)
+        else begin
+          stats.crypto_failures <- stats.crypto_failures + 1;
+          if obs_on then begin
+            c_crypto_fail := !c_crypto_fail +. 1.0;
+            if Trace.enabled tr Trace.Warn then
+              Trace.emit tr Trace.Warn ~time:now ~category:"beacon"
+                ~fields:[ ("receiver", string_of_int m.receiver) ]
+                "pcb rejected: signature verification failed"
+          end
+        end)
       (List.rev !outbox);
     outbox := [];
     outbox_len := 0
@@ -417,33 +532,47 @@ let run ?on_round g cfg =
       Array.iter (fun s -> Beacon_store.prune_expired s ~now) stores;
       Array.iter (fun st -> Diversity_state.prune st ~now) div_states
     end;
-    for x = 0 to n - 1 do
-      match cfg.algorithm with
-      | Beacon_policy.Baseline -> run_baseline_as ~now x
-      | Beacon_policy.Diversity params ->
-          let quality st ~origin ~neighbor ~p ~egress =
-            Beacon_policy.diversity_of_gm params
-              (Diversity_state.counters_mean st
-                 ~kind:params.Beacon_policy.mean_kind ~origin ~neighbor
-                 ~links:p.Pcb.links ~extra:egress)
-          in
-          run_quality_as ~now ~params ~quality ~track_history:true x
-      | Beacon_policy.Latency_aware lp ->
-          let table = lp.Beacon_policy.link_latency_ms in
-          let quality _st ~origin:_ ~neighbor:_ ~p ~egress =
-            let total =
-              Array.fold_left (fun acc l -> acc +. table.(l)) table.(egress)
-                p.Pcb.links
+    let select () =
+      for x = 0 to n - 1 do
+        match cfg.algorithm with
+        | Beacon_policy.Baseline -> run_baseline_as ~now x
+        | Beacon_policy.Diversity params ->
+            let quality st ~origin ~neighbor ~p ~egress =
+              Beacon_policy.diversity_of_gm params
+                (Diversity_state.counters_mean st
+                   ~kind:params.Beacon_policy.mean_kind ~origin ~neighbor
+                   ~links:p.Pcb.links ~extra:egress)
             in
-            Beacon_policy.latency_quality lp ~total_ms:total
-          in
-          run_quality_as ~now ~params:lp.Beacon_policy.base ~quality
-            ~track_history:false x
-    done;
+            run_quality_as ~now ~params ~quality ~track_history:true x
+        | Beacon_policy.Latency_aware lp ->
+            let table = lp.Beacon_policy.link_latency_ms in
+            let quality _st ~origin:_ ~neighbor:_ ~p ~egress =
+              let total =
+                Array.fold_left (fun acc l -> acc +. table.(l)) table.(egress)
+                  p.Pcb.links
+              in
+              Beacon_policy.latency_quality lp ~total_ms:total
+            in
+            run_quality_as ~now ~params:lp.Beacon_policy.base ~quality
+              ~track_history:false x
+      done
+    in
+    Obs.phase obs "beacon.selection_round" select;
+    if obs_on && Trace.enabled tr Trace.Info then
+      Trace.emit tr Trace.Info ~time:now ~category:"beacon"
+        ~fields:
+          [
+            ("round", string_of_int r);
+            ("outbox", string_of_int !outbox_len);
+            ("total_pcbs", string_of_int stats.total_pcbs);
+          ]
+        "selection round complete";
     deliver ~now;
     match on_round with None -> () | Some f -> f ~round:r ~now
   done;
-  { graph = g; config = cfg; stores; stats }
+  let outcome = { graph = g; config = cfg; stores; stats } in
+  if obs_on then observe obs outcome;
+  outcome
 
 let received_bytes_by_as outcome =
   let g = outcome.graph in

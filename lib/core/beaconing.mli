@@ -59,8 +59,30 @@ type outcome = {
   stats : stats;
 }
 
-val run : ?on_round:(round:int -> now:float -> unit) -> Graph.t -> config -> outcome
-(** Simulate [duration / interval] beaconing intervals. *)
+val run :
+  ?obs:Obs.t ->
+  ?on_round:(round:int -> now:float -> unit) ->
+  Graph.t ->
+  config ->
+  outcome
+(** Simulate [duration / interval] beaconing intervals.
+
+    With an enabled [obs] context (default {!Obs.disabled}, which costs
+    one branch per send) the run maintains
+    [beacon_{pcbs_sent,bytes_sent,pcbs_originated,pcbs_filtered,crypto_failures}_total]
+    counters labeled [{algo; scope}], times each selection round under
+    the [beacon.selection_round] timer, emits [beacon]-category trace
+    events (per-PCB at [Debug], per-round and end-of-run at [Info],
+    crypto rejections at [Warn]) and finally calls {!observe} on the
+    outcome. *)
+
+val observe : ?top:int -> Obs.t -> outcome -> unit
+(** Export an outcome's byte accounting into an {!Obs.t}: the directed
+    per-interface sent-byte distribution as the [beacon_iface_bytes]
+    histogram (the Fig. 9 quantity) and the [top] (default 16) busiest
+    interfaces as [pcb_bytes{as; ifid; algo; scope}] labeled counters.
+    No-op on a disabled context; {!run} already calls this when its
+    [obs] is enabled. *)
 
 val received_bytes_by_as : outcome -> float array
 (** Control-plane bytes received per AS (PCBs arriving on its

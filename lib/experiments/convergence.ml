@@ -14,25 +14,28 @@ type result = {
   samples : failure_sample list;
 }
 
-let run ?(n_failures = 5) ?(seed = 0xC0117L) scale =
+let run ?(obs = Obs.disabled) ?(n_failures = 5) ?(seed = 0xC0117L) scale =
   let prepared = Exp_common.prepare scale in
   let core = prepared.Exp_common.core in
   let rng = Rng.create seed in
   (* BGP over the core mesh: full transit, length-only decision (the
      §5.3 best-case model). *)
   let bgp =
-    Bgp_sim.create core { Bgp_sim.default_config with Bgp_sim.full_transit = true }
+    Bgp_sim.create ~obs core { Bgp_sim.default_config with Bgp_sim.full_transit = true }
   in
   Bgp_sim.announce_all bgp;
-  let initial_convergence_s = Bgp_sim.run_to_quiescence bgp in
+  let initial_convergence_s =
+    Obs.phase obs "convergence.bgp_initial" (fun () -> Bgp_sim.run_to_quiescence bgp)
+  in
   let initial_updates = (Bgp_sim.stats bgp).Bgp_sim.updates_sent in
   (* SCION: one diversity beaconing run; paths are then stable. *)
   let scion =
-    Beaconing.run core
-      {
-        Exp_common.beacon_config with
-        Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params;
-      }
+    Obs.phase obs "convergence.beaconing" (fun () ->
+        Beaconing.run ~obs core
+          {
+            Exp_common.beacon_config with
+            Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params;
+          })
   in
   let now = Exp_common.beacon_config.Beaconing.duration -. 1.0 in
   let prop = Bgp_sim.default_config.Bgp_sim.propagation_delay in

@@ -29,8 +29,12 @@ type result = {
   samples : failure_sample list;
 }
 
-val run : ?n_failures:int -> ?seed:int64 -> Exp_common.scale -> result
+val run : ?obs:Obs.t -> ?n_failures:int -> ?seed:int64 -> Exp_common.scale -> result
 (** Runs on the pruned core topology: BGP over the core graph (all-core
-    links as peering), SCION beaconing with the diversity algorithm. *)
+    links as peering), SCION beaconing with the diversity algorithm.
+    With an enabled [obs] (default {!Obs.disabled}) the BGP simulator
+    and the beaconing run are instrumented (see {!Bgp_sim.create} and
+    {!Beaconing.run}) and the two setup stages timed as
+    [convergence.*] phases. *)
 
 val print : result -> unit

@@ -8,6 +8,9 @@
 type scale = Tiny | Small | Medium | Paper
 
 val scale_of_string : string -> (scale, string) result
+(** Parse ["tiny" | "small" | "medium" | "paper"] (the CLI --scale
+    values); [Error] carries a usage message. *)
+
 val scale_to_string : scale -> string
 
 type dimensions = {
@@ -19,8 +22,11 @@ type dimensions = {
 }
 
 val dimensions : scale -> dimensions
+(** The structural knobs of each preset (Paper = the §5.1 sizes). *)
 
 val topology_seed : int64
+(** Seed shared by every experiment, so they all see the same
+    generated topologies. *)
 
 type prepared = {
   scale : scale;

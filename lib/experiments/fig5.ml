@@ -28,9 +28,9 @@ let make_series name ~bgp values =
   let ratios = Array.mapi (fun i v -> v /. max 1.0 bgp.(i)) values in
   { name; ratios; summary = Stats.five_number ratios }
 
-let run ?(diversity = Beacon_policy.default_div_params)
+let run ?(obs = Obs.disabled) ?(diversity = Beacon_policy.default_div_params)
     ?(beacon = Exp_common.beacon_config) scale =
-  let prepared = Exp_common.prepare scale in
+  let prepared = Obs.phase obs "fig5.prepare" (fun () -> Exp_common.prepare scale) in
   let full = prepared.Exp_common.full in
   let core = prepared.Exp_common.core in
   let isd = prepared.Exp_common.isd in
@@ -43,15 +43,18 @@ let run ?(diversity = Beacon_policy.default_div_params)
   in
   let workload = Bgp_overhead.make_workload ~prefix_mean full ~seed:0xB6FL in
   let bgp =
-    Bgp_overhead.monthly_overhead full workload
-      ~monitors:prepared.Exp_common.monitors_full Bgp_overhead.default_params
+    Obs.phase obs "fig5.bgp_overhead" (fun () ->
+        Bgp_overhead.monthly_overhead full workload
+          ~monitors:prepared.Exp_common.monitors_full Bgp_overhead.default_params)
   in
   let bgp_bytes = bgp.Bgp_overhead.bgp_bytes in
   (* SCION core beaconing, baseline and diversity. *)
   let cfg = beacon in
-  let base_out = Beaconing.run core cfg in
+  let base_out = Obs.phase obs "fig5.beaconing.baseline" (fun () -> Beaconing.run ~obs core cfg) in
   let div_out =
-    Beaconing.run core { cfg with Beaconing.algorithm = Beacon_policy.Diversity diversity }
+    Obs.phase obs "fig5.beaconing.diversity" (fun () ->
+        Beaconing.run ~obs core
+          { cfg with Beaconing.algorithm = Beacon_policy.Diversity diversity })
   in
   let monitors_core = prepared.Exp_common.monitors_core in
   let base_bytes = monthly_scion_bytes base_out monitors_core in
@@ -59,7 +62,10 @@ let run ?(diversity = Beacon_policy.default_div_params)
   (* Intra-ISD beaconing (baseline, as in the paper). The per-AS
      samples are rank-paired with the monitors: i-th highest-degree ISD
      member against the i-th monitor. *)
-  let intra_out = Beaconing.run isd { cfg with Beaconing.scope = Beaconing.Intra_isd } in
+  let intra_out =
+    Obs.phase obs "fig5.beaconing.intra_isd" (fun () ->
+        Beaconing.run ~obs isd { cfg with Beaconing.scope = Beaconing.Intra_isd })
+  in
   let isd_samples =
     Bgp_overhead.top_degree_monitors isd ~count:(List.length prepared.Exp_common.monitors_full)
   in
@@ -72,6 +78,18 @@ let run ?(diversity = Beacon_policy.default_div_params)
       make_series "SCION intra-ISD beaconing (baseline)" ~bgp:bgp_bytes intra_bytes;
     ]
   in
+  if Obs.on obs then begin
+    (* Per-monitor overhead ratios as one histogram per series, so the
+       exported JSON carries the Fig. 5 distributions (p50/p90/p99). *)
+    let reg = Obs.registry obs in
+    List.iter
+      (fun s ->
+        let h =
+          Registry.histogram reg ~labels:[ ("series", s.name) ] "fig5_overhead_ratio"
+        in
+        Array.iter (fun r -> if r > 0.0 then Histogram.observe h r) s.ratios)
+      series
+  end;
   {
     scale;
     bgp_bytes;

@@ -23,12 +23,19 @@ type result = {
 }
 
 val run :
+  ?obs:Obs.t ->
   ?diversity:Beacon_policy.div_params ->
   ?beacon:Beaconing.config ->
   Exp_common.scale ->
   result
 (** [beacon] overrides the §5.1 beaconing configuration (used by the
-    bench harness to run shorter horizons). *)
+    bench harness to run shorter horizons).
+
+    With an enabled [obs] context (default {!Obs.disabled}) the stages
+    are timed as [fig5.*] phases, the three beaconing runs are
+    instrumented (see {!Beaconing.run}) and each series' per-monitor
+    ratio distribution is recorded as a [fig5_overhead_ratio{series}]
+    histogram. *)
 
 val print : result -> unit
 (** Paper-style rows: one series per protocol with the five-number

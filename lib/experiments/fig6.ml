@@ -21,34 +21,42 @@ let scion_flows core outcome pairs =
       Path_quality.of_pcbs core pcbs ~src:s ~dst:d)
     pairs
 
-let run ?(diversity = Beacon_policy.default_div_params)
+let run ?(obs = Obs.disabled) ?(diversity = Beacon_policy.default_div_params)
     ?(storage_limits = [ 15; 30; 60; max_int ]) ?(beacon = Exp_common.beacon_config)
     scale =
-  let prepared = Exp_common.prepare scale in
+  let prepared = Obs.phase obs "fig6.prepare" (fun () -> Exp_common.prepare scale) in
   let core = prepared.Exp_common.core in
   let d = Exp_common.dimensions scale in
   let pairs = Exp_common.sample_pairs core ~count:d.Exp_common.sample_pairs ~seed:0xF16AL in
-  let optimum = Array.map (fun (s, d) -> Path_quality.optimum core ~src:s ~dst:d) pairs in
+  let optimum =
+    Obs.phase obs "fig6.optimum_cuts" (fun () ->
+        Array.map (fun (s, d) -> Path_quality.optimum core ~src:s ~dst:d) pairs)
+  in
   let bgp_flows =
-    Array.map
-      (fun (s, d) ->
-        let paths = Bgp_routes.shortest_multipath core ~src:s ~dst:d in
-        Path_quality.of_as_paths core paths ~src:s ~dst:d)
-      pairs
+    Obs.phase obs "fig6.bgp_flows" (fun () ->
+        Array.map
+          (fun (s, d) ->
+            let paths = Bgp_routes.shortest_multipath core ~src:s ~dst:d in
+            Path_quality.of_as_paths core paths ~src:s ~dst:d)
+          pairs)
   in
   let cfg = beacon in
-  let base_out = Beaconing.run core { cfg with Beaconing.storage_limit = 60 } in
+  let base_out =
+    Obs.phase obs "fig6.beaconing.baseline" (fun () ->
+        Beaconing.run ~obs core { cfg with Beaconing.storage_limit = 60 })
+  in
   let base = { name = "SCION Baseline (60)"; flows = scion_flows core base_out pairs } in
   let div_algos =
     List.map
       (fun limit ->
         let out =
-          Beaconing.run core
-            {
-              cfg with
-              Beaconing.storage_limit = limit;
-              Beaconing.algorithm = Beacon_policy.Diversity diversity;
-            }
+          Obs.phase obs "fig6.beaconing.diversity" (fun () ->
+              Beaconing.run ~obs core
+                {
+                  cfg with
+                  Beaconing.storage_limit = limit;
+                  Beaconing.algorithm = Beacon_policy.Diversity diversity;
+                })
         in
         {
           name = Printf.sprintf "SCION Diversity (%s)" (storage_name limit);

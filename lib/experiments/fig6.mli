@@ -21,13 +21,16 @@ type result = {
 }
 
 val run :
+  ?obs:Obs.t ->
   ?diversity:Beacon_policy.div_params ->
   ?storage_limits:int list ->
   ?beacon:Beaconing.config ->
   Exp_common.scale ->
   result
 (** [storage_limits] defaults to [\[15; 30; 60; max_int\]] (∞ printed
-    for [max_int]), matching Fig. 6. The baseline runs at limit 60. *)
+    for [max_int]), matching Fig. 6. The baseline runs at limit 60.
+    With an enabled [obs] (default {!Obs.disabled}) the stages are
+    timed as [fig6.*] phases and the beaconing runs instrumented. *)
 
 val capacity_fraction : result -> string -> float
 (** Mean achieved/optimal capacity over the sampled pairs for the named

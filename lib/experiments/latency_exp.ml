@@ -34,7 +34,7 @@ let evaluate name core weights pairs (outcome : Beaconing.outcome) =
     overhead_bytes = outcome.Beaconing.stats.Beaconing.total_bytes;
   }
 
-let run ?(beacon = Exp_common.beacon_config) scale =
+let run ?(obs = Obs.disabled) ?(beacon = Exp_common.beacon_config) scale =
   let prepared = Exp_common.prepare scale in
   let core = prepared.Exp_common.core in
   let weights = Geo.latency_table core in
@@ -42,25 +42,27 @@ let run ?(beacon = Exp_common.beacon_config) scale =
   let pairs =
     Exp_common.sample_pairs core ~count:d.Exp_common.sample_pairs ~seed:0x1A7E9CL
   in
-  let base_out = Beaconing.run core beacon in
+  let base_out = Obs.phase obs "latency.beaconing.baseline" (fun () -> Beaconing.run ~obs core beacon) in
   let div_out =
-    Beaconing.run core
-      { beacon with Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params }
+    Obs.phase obs "latency.beaconing.diversity" (fun () ->
+        Beaconing.run ~obs core
+          { beacon with Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params })
   in
   (* Scale chosen so a typical diameter-length path scores mid-range. *)
   let lat_scale = 4.0 *. Stats.mean weights *. 8.0 in
   let lat_out =
-    Beaconing.run core
-      {
-        beacon with
-        Beaconing.algorithm =
-          Beacon_policy.Latency_aware
-            {
-              Beacon_policy.base = Beacon_policy.default_div_params;
-              link_latency_ms = weights;
-              latency_scale_ms = lat_scale;
-            };
-      }
+    Obs.phase obs "latency.beaconing.latency_aware" (fun () ->
+        Beaconing.run ~obs core
+          {
+            beacon with
+            Beaconing.algorithm =
+              Beacon_policy.Latency_aware
+                {
+                  Beacon_policy.base = Beacon_policy.default_div_params;
+                  link_latency_ms = weights;
+                  latency_scale_ms = lat_scale;
+                };
+          })
   in
   {
     scale;

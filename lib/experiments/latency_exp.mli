@@ -22,6 +22,11 @@ type result = {
   algos : algo_result list;
 }
 
-val run : ?beacon:Beaconing.config -> Exp_common.scale -> result
+val run : ?obs:Obs.t -> ?beacon:Beaconing.config -> Exp_common.scale -> result
+(** [beacon] overrides the §5.1 beaconing configuration. With an
+    enabled [obs] (default {!Obs.disabled}) the three beaconing runs
+    are instrumented and timed as [latency.*] phases. *)
 
 val print : result -> unit
+(** One row per algorithm: mean and p95 latency stretch plus absolute
+    control-plane overhead. *)

@@ -28,24 +28,28 @@ let scion_flows g outcome pairs =
       Path_quality.of_pcbs g pcbs ~src:s ~dst:d)
     pairs
 
-let run ?(diversity = Beacon_policy.default_div_params) () =
+let run ?(obs = Obs.disabled) ?(diversity = Beacon_policy.default_div_params) () =
   let g = Scionlab.generate Scionlab.default_params in
   let pairs = all_pairs g in
   let optimum = Array.map (fun (s, d) -> Path_quality.optimum g ~src:s ~dst:d) pairs in
   let cfg = Exp_common.beacon_config in
-  let baseline5 = Beaconing.run g { cfg with Beaconing.storage_limit = 5 } in
+  let baseline5 =
+    Obs.phase obs "scionlab.beaconing.baseline" (fun () ->
+        Beaconing.run ~obs g { cfg with Beaconing.storage_limit = 5 })
+  in
   let algos =
     ({ name = "Measurement"; flows = scion_flows g baseline5 pairs }
     :: { name = "SCION Baseline (5)"; flows = scion_flows g baseline5 pairs }
     :: List.map
          (fun limit ->
            let out =
-             Beaconing.run g
-               {
-                 cfg with
-                 Beaconing.storage_limit = limit;
-                 Beaconing.algorithm = Beacon_policy.Diversity diversity;
-               }
+             Obs.phase obs "scionlab.beaconing.diversity" (fun () ->
+                 Beaconing.run ~obs g
+                   {
+                     cfg with
+                     Beaconing.storage_limit = limit;
+                     Beaconing.algorithm = Beacon_policy.Diversity diversity;
+                   })
            in
            {
              name = Printf.sprintf "SCION Diversity (%d)" limit;
@@ -58,6 +62,10 @@ let run ?(diversity = Beacon_policy.default_div_params) () =
       (fun b -> b /. baseline5.Beaconing.config.Beaconing.duration)
       (Beaconing.eligible_iface_bytes baseline5)
   in
+  if Obs.on obs then begin
+    let h = Registry.histogram (Obs.registry obs) "scionlab_iface_bps" in
+    Array.iter (Histogram.observe h) iface_bps
+  end;
   { pairs; optimum; algos; iface_bps }
 
 let cdf_rows values_list caps to_cell =
@@ -104,12 +112,15 @@ let print r =
         r.algos);
   print_newline ();
   print_endline "Fig. 9 — per-interface core-beaconing bandwidth (Bps), baseline(5):";
-  Printf.printf "  %s\n" (Stats.summary r.iface_bps);
-  let below_4k =
-    let n = Array.length r.iface_bps in
-    let le =
-      Array.fold_left (fun acc v -> if v <= 4096.0 then acc + 1 else acc) 0 r.iface_bps
-    in
-    100.0 *. float_of_int le /. float_of_int (max 1 n)
-  in
-  Printf.printf "  interfaces below 4 KB/s: %.0f%% (paper: ~80%%)\n" below_4k
+  (* Log-bucketed histogram over the per-interface rates: the same
+     structure the observability export uses, so the printed quantiles
+     match the [scionlab_iface_bps] histogram in --metrics-out. *)
+  let h = Histogram.create () in
+  Array.iter (Histogram.observe h) r.iface_bps;
+  let s = Histogram.summarize h in
+  Printf.printf
+    "  %d interfaces: mean %.3g  p50 %.3g  p90 %.3g  p99 %.3g  max %.3g Bps\n"
+    s.Histogram.count s.Histogram.mean s.Histogram.p50 s.Histogram.p90
+    s.Histogram.p99 s.Histogram.max;
+  Printf.printf "  interfaces below 4 KB/s: %.0f%% (paper: ~80%%)\n"
+    (100.0 *. Histogram.fraction_le h 4096.0)

@@ -16,6 +16,13 @@ type result = {
   iface_bps : float array;  (** Fig. 9: Bps per core interface, baseline(5) *)
 }
 
-val run : ?diversity:Beacon_policy.div_params -> unit -> result
+val run : ?obs:Obs.t -> ?diversity:Beacon_policy.div_params -> unit -> result
+(** With an enabled [obs] (default {!Obs.disabled}) the beaconing runs
+    are instrumented, timed as [scionlab.*] phases, and the Fig. 9
+    per-interface rate distribution is exported as the
+    [scionlab_iface_bps] histogram. *)
 
 val print : result -> unit
+(** Figures 7/8 CDFs, the diversity-vs-measurement fractions, and the
+    Fig. 9 bandwidth distribution summarised through {!Histogram}
+    (p50/p90/p99 and the fraction of interfaces below 4 KB/s). *)

@@ -98,14 +98,20 @@ let coreify g =
   done;
   Graph.freeze b
 
-let measure scale =
+let measure ?(obs = Obs.disabled) scale =
   let prepared = Exp_common.prepare scale in
   let cfg = Exp_common.beacon_config in
   (* A shorter horizon suffices to ground the taxonomy. *)
   let cfg = { cfg with Beaconing.duration = cfg.Beaconing.interval *. 8.0 } in
   let g = coreify prepared.Exp_common.isd in
-  let core_out = Beaconing.run g { cfg with Beaconing.scope = Beaconing.Core_beaconing } in
-  let intra_out = Beaconing.run g { cfg with Beaconing.scope = Beaconing.Intra_isd } in
+  let core_out =
+    Obs.phase obs "table1.beaconing.core" (fun () ->
+        Beaconing.run ~obs g { cfg with Beaconing.scope = Beaconing.Core_beaconing })
+  in
+  let intra_out =
+    Obs.phase obs "table1.beaconing.intra_isd" (fun () ->
+        Beaconing.run ~obs g { cfg with Beaconing.scope = Beaconing.Intra_isd })
+  in
   let cs = Control_service.build ~core:core_out ~intra:intra_out () in
   let rng = Rng.create 0xAB1EL in
   (* Zipf-popular destinations (§4.1): endpoints in random ASes resolve

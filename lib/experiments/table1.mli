@@ -29,9 +29,11 @@ type measured = {
   bytes : float;
 }
 
-val measure : Exp_common.scale -> measured list
+val measure : ?obs:Obs.t -> Exp_common.scale -> measured list
 (** Run a small network end-to-end (core + intra-ISD beaconing, path
     registration, Zipf-weighted lookups with caching, one revocation)
-    and report the per-component traffic that grounds the taxonomy. *)
+    and report the per-component traffic that grounds the taxonomy.
+    With an enabled [obs] (default {!Obs.disabled}) the beaconing runs
+    are instrumented and timed as [table1.*] phases. *)
 
 val print : ?measured:measured list -> unit -> unit

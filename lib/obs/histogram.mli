@@ -1,0 +1,74 @@
+(** Log-bucketed histograms with quantile readout.
+
+    Observations land in exponentially-spaced buckets
+    [\[growth^i, growth^(i+1))], so a histogram covers many orders of
+    magnitude (bytes on an interface, nanoseconds of latency) in O(1)
+    memory per occupied bucket with a bounded relative error of
+    [growth - 1] per quantile. The default growth factor [2^0.25]
+    (~19 % bucket width) keeps p50/p90/p99 within a few percent.
+
+    Non-positive observations are counted in a dedicated underflow
+    bucket; exact [min]/[max] are tracked alongside so tail quantiles
+    are clamped to the observed range. *)
+
+type t
+
+val default_growth : float
+(** [2{^0.25}]. *)
+
+val create : ?growth:float -> unit -> t
+(** Empty histogram. [growth] is the bucket-boundary ratio; it must be
+    a finite float > 1 or [Invalid_argument] is raised. *)
+
+val observe : t -> float -> unit
+(** Record one observation. Raises [Invalid_argument] on [nan]. *)
+
+val count : t -> int
+(** Number of observations. *)
+
+val sum : t -> float
+(** Sum of all observations (exact, not bucketed). *)
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val min_value : t -> float
+(** Exact minimum observation; [nan] when empty. *)
+
+val max_value : t -> float
+(** Exact maximum observation; [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0,1\]]: the geometric midpoint of the
+    bucket holding the order statistic of rank [ceil (q * count)],
+    clamped to [\[min, max\]]. [nan] when empty; [Invalid_argument]
+    when [q] is outside [\[0,1\]]. *)
+
+val fraction_le : t -> float -> float
+(** Fraction of observations [<= x], interpolating log-linearly inside
+    the bucket that straddles [x]. [nan] when empty. *)
+
+val merge : into:t -> t -> unit
+(** Accumulate a second histogram ([Invalid_argument] if the growth
+    factors differ). The source is left unchanged. *)
+
+val reset : t -> unit
+(** Drop every observation; bucket configuration is kept. *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** One-shot readout of the headline statistics. *)
+
+val summarize : t -> summary
+
+val to_json : t -> Obs_json.t
+(** Summary plus the occupied buckets as [{le; count}] pairs ([le] is
+    the bucket's upper bound, mirroring Prometheus conventions). *)

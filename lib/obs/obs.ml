@@ -1,0 +1,47 @@
+type t = {
+  registry : Registry.t;
+  trace : Trace.t;
+  timers : Timer.t;
+  enabled : bool;
+}
+
+let disabled =
+  {
+    registry = Registry.create ();
+    trace = Trace.null;
+    timers = Timer.create ();
+    enabled = false;
+  }
+
+let create ?(trace = Trace.null) () =
+  { registry = Registry.create (); trace = trace; timers = Timer.create (); enabled = true }
+
+let on t = t.enabled
+
+let registry t = t.registry
+
+let trace t = t.trace
+
+let timers t = t.timers
+
+let phase t name f = if t.enabled then Timer.time t.timers name f else f ()
+
+let to_json t =
+  Obs_json.Obj
+    [
+      ("metrics", Registry.to_json t.registry);
+      ("timers", Timer.to_json t.timers);
+      ("trace", Trace.to_json t.trace);
+    ]
+
+let write_json_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs_json.to_string_pretty (to_json t)))
+
+let write_csv_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Registry.to_csv t.registry))

@@ -1,0 +1,43 @@
+(** Observability context: one value bundling the {!Registry} of
+    metrics, the {!Trace} ring and the phase {!Timer}s of a run.
+
+    Instrumented code takes an optional [?obs] argument defaulting to
+    {!disabled} and guards every metric update with {!on} (and every
+    trace payload with {!Trace.enabled}), so instrumentation costs
+    nothing unless a caller opts in:
+    {[
+      let run ?(obs = Obs.disabled) config = ...
+      if Obs.on obs then Registry.add (Obs.registry obs) "events_total" 1.0
+    ]} *)
+
+type t
+
+val disabled : t
+(** The shared no-op context: {!on} is [false], the trace is
+    {!Trace.null}. Default for every [?obs] argument. *)
+
+val create : ?trace:Trace.t -> unit -> t
+(** Fresh context with an empty registry and timers. [trace] defaults
+    to {!Trace.null} (metrics only). *)
+
+val on : t -> bool
+(** [false] exactly for {!disabled}; gate metric updates with this. *)
+
+val registry : t -> Registry.t
+
+val trace : t -> Trace.t
+
+val timers : t -> Timer.t
+
+val phase : t -> string -> (unit -> 'a) -> 'a
+(** [phase t name f] times [f] under [name] when the context is
+    enabled; otherwise just runs [f]. *)
+
+val to_json : t -> Obs_json.t
+(** [{metrics; timers; trace}] — the [--metrics-out] document. *)
+
+val write_json_file : t -> string -> unit
+(** Pretty-printed {!to_json} to a file (created or truncated). *)
+
+val write_csv_file : t -> string -> unit
+(** {!Registry.to_csv} of the metrics to a file. *)

@@ -1,0 +1,195 @@
+type labels = (string * string) list
+
+type metric =
+  | M_counter of float ref
+  | M_gauge of float ref
+  | M_hist of Histogram.t
+
+type t = { tbl : (string * labels, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let norm labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let find_or_create t name labels make describe =
+  let key = (name, norm labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl key m;
+      ignore describe;
+      m
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_hist _ -> "histogram"
+
+let wrong_kind name expected m =
+  invalid_arg
+    (Printf.sprintf "Registry: %s is a %s, not a %s" name (kind_name m) expected)
+
+let counter t ?(labels = []) name =
+  match find_or_create t name labels (fun () -> M_counter (ref 0.0)) "counter" with
+  | M_counter r -> r
+  | m -> wrong_kind name "counter" m
+
+let gauge t ?(labels = []) name =
+  match find_or_create t name labels (fun () -> M_gauge (ref 0.0)) "gauge" with
+  | M_gauge r -> r
+  | m -> wrong_kind name "gauge" m
+
+let histogram ?growth t ?(labels = []) name =
+  match
+    find_or_create t name labels
+      (fun () -> M_hist (Histogram.create ?growth ()))
+      "histogram"
+  with
+  | M_hist h -> h
+  | m -> wrong_kind name "histogram" m
+
+let add t ?labels name v =
+  let r = counter t ?labels name in
+  r := !r +. v
+
+let incr t ?labels name = add t ?labels name 1.0
+
+let set t ?labels name v =
+  let r = gauge t ?labels name in
+  r := v
+
+let observe t ?labels name v = Histogram.observe (histogram t ?labels name) v
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Hist of Histogram.summary
+
+type sample = { name : string; labels : labels; value : value }
+
+type snapshot = sample list
+
+let snapshot t =
+  Hashtbl.fold
+    (fun (name, labels) m acc ->
+      let value =
+        match m with
+        | M_counter r -> Counter !r
+        | M_gauge r -> Gauge !r
+        | M_hist h -> Hist (Histogram.summarize h)
+      in
+      { name; labels; value } :: acc)
+    t.tbl []
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+
+let diff ~before ~after =
+  let base = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace base (s.name, s.labels) s.value) before;
+  List.map
+    (fun s ->
+      match (Hashtbl.find_opt base (s.name, s.labels), s.value) with
+      | Some (Counter b), Counter a -> { s with value = Counter (a -. b) }
+      | Some (Hist b), Hist a ->
+          (* Quantiles are not subtractable; keep the after-side shape
+             but report the count/sum accumulated in between. *)
+          { s with value = Hist { a with count = a.count - b.count; sum = a.sum -. b.sum } }
+      | _ -> s)
+    after
+
+let labels_to_string labels =
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let sample_to_json s =
+  let fields =
+    [
+      ("name", Obs_json.String s.name);
+      ( "labels",
+        Obs_json.Obj (List.map (fun (k, v) -> (k, Obs_json.String v)) s.labels) );
+    ]
+  in
+  let value_fields =
+    match s.value with
+    | Counter v -> [ ("kind", Obs_json.String "counter"); ("value", Obs_json.Float v) ]
+    | Gauge v -> [ ("kind", Obs_json.String "gauge"); ("value", Obs_json.Float v) ]
+    | Hist h ->
+        [
+          ("kind", Obs_json.String "histogram");
+          ("count", Obs_json.Int h.Histogram.count);
+          ("sum", Obs_json.Float h.Histogram.sum);
+          ("min", Obs_json.Float h.Histogram.min);
+          ("max", Obs_json.Float h.Histogram.max);
+          ("mean", Obs_json.Float h.Histogram.mean);
+          ("p50", Obs_json.Float h.Histogram.p50);
+          ("p90", Obs_json.Float h.Histogram.p90);
+          ("p99", Obs_json.Float h.Histogram.p99);
+        ]
+  in
+  Obs_json.Obj (fields @ value_fields)
+
+let snapshot_to_json snap = Obs_json.List (List.map sample_to_json snap)
+
+let to_json t =
+  (* Full export: histograms carry their buckets, not just the summary. *)
+  let metrics =
+    Hashtbl.fold
+      (fun (name, labels) m acc -> ((name, labels), m) :: acc)
+      t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun ((name, labels), m) ->
+           let base =
+             [
+               ("name", Obs_json.String name);
+               ( "labels",
+                 Obs_json.Obj
+                   (List.map (fun (k, v) -> (k, Obs_json.String v)) labels) );
+               ("kind", Obs_json.String (kind_name m));
+             ]
+           in
+           match m with
+           | M_counter r -> Obs_json.Obj (base @ [ ("value", Obs_json.Float !r) ])
+           | M_gauge r -> Obs_json.Obj (base @ [ ("value", Obs_json.Float !r) ])
+           | M_hist h ->
+               Obs_json.Obj (base @ [ ("histogram", Histogram.to_json h) ]))
+  in
+  Obs_json.List metrics
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "name,labels,kind,value,count,sum,min,max,mean,p50,p90,p99\n";
+  let num v = if Float.is_nan v then "" else Printf.sprintf "%.12g" v in
+  List.iter
+    (fun s ->
+      let cells =
+        match s.value with
+        | Counter v ->
+            [ "counter"; num v; ""; ""; ""; ""; ""; ""; ""; "" ]
+        | Gauge v -> [ "gauge"; num v; ""; ""; ""; ""; ""; ""; ""; "" ]
+        | Hist h ->
+            [
+              "histogram";
+              "";
+              string_of_int h.Histogram.count;
+              num h.Histogram.sum;
+              num h.Histogram.min;
+              num h.Histogram.max;
+              num h.Histogram.mean;
+              num h.Histogram.p50;
+              num h.Histogram.p90;
+              num h.Histogram.p99;
+            ]
+      in
+      Buffer.add_string buf
+        (String.concat ","
+           (csv_escape s.name :: csv_escape (labels_to_string s.labels) :: cells));
+      Buffer.add_char buf '\n')
+    (snapshot t);
+  Buffer.contents buf
+
+let reset t = Hashtbl.reset t.tbl

@@ -1,0 +1,81 @@
+(** Labeled metric registry: counters, gauges and histograms.
+
+    A metric is identified by a name plus a set of [(key, value)]
+    labels — e.g. [beacon_bytes_total{algo=diversity}] — following the
+    Prometheus data model, so exports translate directly to standard
+    tooling. Labels are order-insensitive (normalised by sorting).
+
+    Hot paths should hoist the lookup: obtain the cell once with
+    {!counter}/{!gauge}/{!histogram} and update the returned reference
+    directly, rather than calling {!add}/{!set}/{!observe} (which
+    re-hash the key) per event. *)
+
+type t
+
+type labels = (string * string) list
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> float ref
+(** Find-or-create the counter cell; mutate the returned ref to
+    accumulate. Raises [Invalid_argument] if the name+labels already
+    exists with a different metric kind. *)
+
+val gauge : t -> ?labels:labels -> string -> float ref
+(** Find-or-create a gauge cell (last-write-wins semantics). *)
+
+val histogram : ?growth:float -> t -> ?labels:labels -> string -> Histogram.t
+(** Find-or-create a histogram ([growth] only applies on creation). *)
+
+val add : t -> ?labels:labels -> string -> float -> unit
+(** One-shot counter accumulation (lookup per call). *)
+
+val incr : t -> ?labels:labels -> string -> unit
+(** [add t name 1.]. *)
+
+val set : t -> ?labels:labels -> string -> float -> unit
+(** One-shot gauge write. *)
+
+val observe : t -> ?labels:labels -> string -> float -> unit
+(** One-shot histogram observation. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Hist of Histogram.summary
+
+type sample = { name : string; labels : labels; value : value }
+
+type snapshot = sample list
+(** Sorted by (name, labels); an immutable copy of the registry
+    contents at one instant. *)
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-series change between two snapshots: counters and histogram
+    count/sum are subtracted; gauges and histogram quantiles keep the
+    [after] value. Series absent from [before] are reported as-is. *)
+
+(** {1 Exports} *)
+
+val to_json : t -> Obs_json.t
+(** Full machine-readable export: every series with kind, labels and —
+    for histograms — the occupied buckets (see {!Histogram.to_json}). *)
+
+val snapshot_to_json : snapshot -> Obs_json.t
+(** Summary-level export of a snapshot (histograms as p50/p90/p99
+    summaries without buckets). *)
+
+val to_csv : t -> string
+(** One row per series with a fixed
+    [name,labels,kind,value,count,sum,min,max,mean,p50,p90,p99]
+    header; empty cells where a column does not apply to the kind. *)
+
+val labels_to_string : labels -> string
+(** [k1=v1;k2=v2] rendering used in CSV and trace output. *)
+
+val reset : t -> unit
+(** Drop every series. *)

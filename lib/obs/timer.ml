@@ -1,0 +1,43 @@
+type entry = { mutable total : float; mutable count : int }
+
+type t = { tbl : (string, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 16 }
+
+let now () = Unix.gettimeofday ()
+
+let entry t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some e -> e
+  | None ->
+      let e = { total = 0.0; count = 0 } in
+      Hashtbl.replace t.tbl name e;
+      e
+
+let record t name seconds =
+  let e = entry t name in
+  e.total <- e.total +. seconds;
+  e.count <- e.count + 1
+
+let time t name f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> record t name (now () -. t0)) f
+
+let total t name =
+  match Hashtbl.find_opt t.tbl name with Some e -> e.total | None -> 0.0
+
+let report t =
+  Hashtbl.fold (fun name e acc -> (name, e.total, e.count) :: acc) t.tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let to_json t =
+  Obs_json.Obj
+    (List.map
+       (fun (name, total, count) ->
+         ( name,
+           Obs_json.Obj
+             [ ("seconds", Obs_json.Float total); ("count", Obs_json.Int count) ]
+         ))
+       (report t))
+
+let reset t = Hashtbl.reset t.tbl

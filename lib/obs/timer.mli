@@ -1,0 +1,30 @@
+(** Named wall-clock phase timers.
+
+    Each name accumulates total elapsed seconds and an invocation
+    count, so an experiment can report where its run time went
+    (topology generation vs beaconing vs analysis). Backed by
+    [Unix.gettimeofday]; at the multi-millisecond granularity of
+    experiment phases the difference from a monotonic clock is
+    immaterial, and it keeps the dependency footprint to [unix]. *)
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f ()], accumulating its wall-clock duration
+    under [name] (also on exception). *)
+
+val record : t -> string -> float -> unit
+(** Accumulate an externally measured duration in seconds. *)
+
+val total : t -> string -> float
+(** Accumulated seconds; 0. for unknown names. *)
+
+val report : t -> (string * float * int) list
+(** [(name, total_seconds, count)], sorted by name. *)
+
+val to_json : t -> Obs_json.t
+(** Object keyed by timer name with [{seconds; count}] values. *)
+
+val reset : t -> unit

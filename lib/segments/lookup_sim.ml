@@ -33,9 +33,26 @@ type result = {
   expired_evictions : int;
 }
 
-let run p =
+let run ?(obs = Obs.disabled) p =
   if p.n_destinations < 1 || p.requests < 0 || p.client_ases < 1 then
     invalid_arg "Lookup_sim.run: invalid parameters";
+  let obs_on = Obs.on obs in
+  let tr = Obs.trace obs in
+  let labels =
+    [
+      ("cache", if p.cache then "on" else "off");
+      ("zipf", Printf.sprintf "%.2f" p.zipf_s);
+    ]
+  in
+  let c_hits, c_misses, c_bytes =
+    if obs_on then begin
+      let reg = Obs.registry obs in
+      ( Registry.counter reg ~labels "lookup_cache_hits_total",
+        Registry.counter reg ~labels "lookup_cache_misses_total",
+        Registry.counter reg ~labels "lookup_upstream_bytes_total" )
+    end
+    else (ref 0.0, ref 0.0, ref 0.0)
+  in
   let rng = Rng.create p.seed in
   let zipf = Zipf.create ~n:p.n_destinations ~s:p.zipf_s in
   (* Per client AS: destination -> cached-until. *)
@@ -62,14 +79,38 @@ let run p =
           false
       | None -> false
     in
-    if cached then incr hits
+    if cached then begin
+      incr hits;
+      if obs_on then c_hits := !c_hits +. 1.0
+    end
     else begin
       incr misses;
       upstream_bytes := !upstream_bytes +. query_bytes +. reply_bytes;
+      if obs_on then begin
+        c_misses := !c_misses +. 1.0;
+        c_bytes := !c_bytes +. query_bytes +. reply_bytes;
+        if Trace.enabled tr Trace.Debug then
+          Trace.emit tr Trace.Debug ~time:now ~category:"lookup"
+            ~fields:
+              [ ("client", string_of_int client); ("dst", string_of_int dst) ]
+            "cache miss, upstream fetch"
+      end;
       if p.cache then
         Hashtbl.replace caches.(client) dst (now +. p.segment_lifetime)
     end
   done;
+  if obs_on && Trace.enabled tr Trace.Info then
+    Trace.emit tr Trace.Info
+      ~time:(float_of_int p.requests /. p.request_rate)
+      ~category:"lookup"
+      ~fields:
+        [
+          ("requests", string_of_int p.requests);
+          ("hits", string_of_int !hits);
+          ("misses", string_of_int !misses);
+          ("evictions", string_of_int !evictions);
+        ]
+      "lookup simulation complete";
   {
     params = p;
     cache_hits = !hits;

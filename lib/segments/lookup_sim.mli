@@ -36,7 +36,12 @@ type result = {
   expired_evictions : int;
 }
 
-val run : params -> result
+val run : ?obs:Obs.t -> params -> result
+(** With an enabled [obs] context (default {!Obs.disabled}) the run
+    maintains [lookup_cache_{hits,misses}_total] and
+    [lookup_upstream_bytes_total] counters labeled [{cache; zipf}] and
+    emits [lookup]-category trace events (per-miss at [Debug], run
+    summary at [Info]). *)
 
 val print_sweep : result list -> unit
 (** One row per configuration: the Zipf-sweep table. *)

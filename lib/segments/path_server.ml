@@ -21,10 +21,27 @@ type t = {
   mutable reply_segments_core : int;
   mutable revocations : int;
   mutable revoked_segments : int;
+  (* Observability cells, hoisted at creation. *)
+  obs_on : bool;
+  tr : Trace.t;
+  c_down_hits : float ref;
+  c_down_misses : float ref;
+  c_core_hits : float ref;
+  c_core_misses : float ref;
+  c_registrations : float ref;
+  c_revoked : float ref;
 }
 
-let create ?(per_leaf_limit = 60) () =
+let create ?(obs = Obs.disabled) ?(per_leaf_limit = 60) () =
   if per_leaf_limit < 1 then invalid_arg "Path_server.create: per_leaf_limit < 1";
+  let obs_on = Obs.on obs in
+  let counter kind name =
+    if obs_on then
+      Registry.counter (Obs.registry obs)
+        ~labels:(match kind with Some k -> [ ("kind", k) ] | None -> [])
+        name
+    else ref 0.0
+  in
   {
     per_leaf_limit;
     down = Hashtbl.create 64;
@@ -37,6 +54,14 @@ let create ?(per_leaf_limit = 60) () =
     reply_segments_core = 0;
     revocations = 0;
     revoked_segments = 0;
+    obs_on;
+    tr = Obs.trace obs;
+    c_down_hits = counter (Some "down") "path_server_lookup_hits_total";
+    c_down_misses = counter (Some "down") "path_server_lookup_misses_total";
+    c_core_hits = counter (Some "core") "path_server_lookup_hits_total";
+    c_core_misses = counter (Some "core") "path_server_lookup_misses_total";
+    c_registrations = counter None "path_server_registrations_total";
+    c_revoked = counter None "path_server_revoked_segments_total";
   }
 
 let seg_key (s : Segment.t) =
@@ -61,6 +86,7 @@ let register t table ~idx ~now (s : Segment.t) =
       Hashtbl.replace b key s;
       t.registrations <- t.registrations + 1;
       t.registration_bytes <- t.registration_bytes + Segment.registration_bytes s;
+      if t.obs_on then t.c_registrations := !(t.c_registrations) +. 1.0;
       true
     end
   end
@@ -77,16 +103,37 @@ let lookup table ~now idx =
         (fun _ s acc -> if Segment.is_valid s ~now then s :: acc else acc)
         b []
 
+let observe_lookup t ~now ~kind ~idx ~hit ~c_hits ~c_misses ~n_segs =
+  let c = if hit then c_hits else c_misses in
+  c := !c +. 1.0;
+  if Trace.enabled t.tr Trace.Debug then
+    Trace.emit t.tr Trace.Debug ~time:now ~category:"path_server"
+      ~fields:
+        [
+          ("kind", kind);
+          ("dst", string_of_int idx);
+          ("segments", string_of_int n_segs);
+        ]
+      (if hit then "lookup hit" else "lookup miss")
+
 let lookup_down t ~now ~leaf =
   let segs = lookup t.down ~now leaf in
   t.lookups_down <- t.lookups_down + 1;
-  t.reply_segments_down <- t.reply_segments_down + List.length segs;
+  let n = List.length segs in
+  t.reply_segments_down <- t.reply_segments_down + n;
+  if t.obs_on then
+    observe_lookup t ~now ~kind:"down" ~idx:leaf ~hit:(n > 0)
+      ~c_hits:t.c_down_hits ~c_misses:t.c_down_misses ~n_segs:n;
   segs
 
 let lookup_core t ~now ~remote =
   let segs = lookup t.core ~now remote in
   t.lookups_core <- t.lookups_core + 1;
-  t.reply_segments_core <- t.reply_segments_core + List.length segs;
+  let n = List.length segs in
+  t.reply_segments_core <- t.reply_segments_core + n;
+  if t.obs_on then
+    observe_lookup t ~now ~kind:"core" ~idx:remote ~hit:(n > 0)
+      ~c_hits:t.c_core_hits ~c_misses:t.c_core_misses ~n_segs:n;
   segs
 
 let deregister_leaf t ~leaf =
@@ -118,6 +165,14 @@ let revoke_link t ~link =
   in
   let n = purge t.down + purge t.core in
   t.revoked_segments <- t.revoked_segments + n;
+  if t.obs_on then begin
+    t.c_revoked := !(t.c_revoked) +. float_of_int n;
+    if Trace.enabled t.tr Trace.Warn then
+      Trace.emit t.tr Trace.Warn ~time:0.0 ~category:"path_server"
+        ~fields:
+          [ ("link", string_of_int link); ("revoked", string_of_int n) ]
+        "link revocation purged segments"
+  end;
   n
 
 let stats t =

@@ -8,9 +8,17 @@
 
 type t
 
-val create : ?per_leaf_limit:int -> unit -> t
+val create : ?obs:Obs.t -> ?per_leaf_limit:int -> unit -> t
 (** [per_leaf_limit] caps registered segments per destination leaf AS
-    (default 60, matching the PCB storage limit in §5.1). *)
+    (default 60, matching the PCB storage limit in §5.1).
+
+    With an enabled [obs] context (default {!Obs.disabled}) the server
+    maintains [path_server_lookup_{hits,misses}_total] counters labeled
+    [{kind}] ([down] or [core]; a hit is a lookup returning at least
+    one valid segment), plus [path_server_registrations_total] and
+    [path_server_revoked_segments_total], and emits
+    [path_server]-category trace events (per-lookup at [Debug],
+    revocations at [Warn]). *)
 
 val register_down : t -> now:float -> Segment.t -> bool
 (** Register a down-path segment under its leaf AS. Returns [false] if

@@ -6,21 +6,30 @@
 
 type t
 
-val create : unit -> t
+val create : ?obs:Obs.t -> unit -> t
+(** [obs] (default {!Obs.disabled}) enables instrumentation: every
+    fired event increments the [des_events_total] counter, the queue
+    depth is sampled into the [des_queue_depth] histogram every 64
+    events, and each firing emits a [des]-category [Debug] trace
+    event. Costs one branch per event when disabled. *)
 
 val now : t -> float
 (** Current virtual time in seconds. *)
 
 val schedule : t -> delay:float -> (t -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. Raises
-    [Invalid_argument] for negative delays. *)
+    [Invalid_argument] for negative or nan delays. *)
 
 val schedule_at : t -> time:float -> (t -> unit) -> unit
-(** Absolute-time variant; the time must not be in the past. *)
+(** Absolute-time variant; the time must not be in the past (nor nan). *)
 
 val every : t -> interval:float -> ?start:float -> ?until:float -> (t -> unit) -> unit
 (** Periodic event starting at [start] (default [interval] from now),
-    repeating until virtual time exceeds [until] (default: forever). *)
+    repeating until virtual time exceeds [until] (default: forever).
+    A tick landing exactly on [until] fires: tick times are derived
+    multiplicatively from the start time and snapped to [until] within
+    a relative epsilon of [1e-9 * interval], so accumulated
+    floating-point drift cannot skip the boundary tick. *)
 
 val run : ?until:float -> t -> unit
 (** Drain the event queue. With [until], stop once the next event lies

@@ -24,4 +24,9 @@ let to_sorted_list t =
   fold t ~init:[] ~f:(fun acc key v -> (key, v) :: acc)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let reset t = Hashtbl.reset t
+(* Zero the counters but keep the keys: a series that existed before a
+   reset stays visible (at 0.) afterwards, so windowed reporting never
+   sees series appear and disappear between windows. *)
+let reset t = Hashtbl.iter (fun _ r -> r := 0.0) t
+
+let clear t = Hashtbl.reset t

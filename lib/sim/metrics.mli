@@ -19,3 +19,10 @@ val to_sorted_list : t -> (string * float) list
 (** Counters sorted by name. *)
 
 val reset : t -> unit
+(** Zero every counter, {e keeping} the keys: after a reset, known
+    counters report 0. and still appear in {!to_sorted_list}/{!fold},
+    so windowed reporting retains stable series identity. Use {!clear}
+    to also drop the keys. *)
+
+val clear : t -> unit
+(** Remove every counter (keys and values). *)

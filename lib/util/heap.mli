@@ -7,10 +7,14 @@ val create : cmp:('a -> 'a -> int) -> 'a t
 (** Empty heap with ordering [cmp]. *)
 
 val length : 'a t -> int
+(** Number of stored elements, O(1). *)
 
 val is_empty : 'a t -> bool
 
 val push : 'a t -> 'a -> unit
+(** Insert an element, O(log n). Equal elements are allowed; their
+    relative pop order is unspecified (callers needing stability must
+    encode a tiebreak in [cmp], as the event queue does). *)
 
 val pop : 'a t -> 'a option
 (** Remove and return the minimum element, or [None] if empty. *)
@@ -19,10 +23,13 @@ val pop_exn : 'a t -> 'a
 (** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
 
 val peek : 'a t -> 'a option
+(** The minimum element without removing it, or [None] if empty. *)
 
 val clear : 'a t -> unit
+(** Remove every element, keeping the allocated storage. *)
 
 val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Heap containing the elements of the list (O(n log n)). *)
 
 val to_sorted_list : 'a t -> 'a list
 (** Drains the heap, returning elements in ascending order. *)

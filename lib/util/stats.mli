@@ -13,6 +13,7 @@ val quantile : float array -> float -> float
     array or [q] outside [\[0,1\]]. *)
 
 val median : float array -> float
+(** [quantile xs 0.5]. *)
 
 val stddev : float array -> float
 (** Population standard deviation; 0. on arrays shorter than 2. *)

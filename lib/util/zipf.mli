@@ -19,3 +19,4 @@ val weight : t -> int -> float
 (** [weight t k] is the normalised probability of rank [k] (0-based). *)
 
 val n : t -> int
+(** Number of ranks the distribution was created with. *)

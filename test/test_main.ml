@@ -6,6 +6,7 @@ let () =
       ("types", Test_types.suite);
       ("topology", Test_topology.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("core", Test_core.suite);
       ("bgp", Test_bgp.suite);
       ("bgp-sim", Test_bgp_sim.suite);

@@ -71,6 +71,74 @@ let test_des_step () =
   Alcotest.(check bool) "one step" true (Des.step sim);
   Alcotest.(check bool) "empty" false (Des.step sim)
 
+(* Regression: interval 0.1 accumulates float drift (0.1 is not exact
+   in binary), so the naive [now +. interval] recurrence lands at
+   0.30000000000000004 > until and skipped the boundary tick. Tick
+   times must be derived multiplicatively from the start. *)
+let test_des_every_boundary_drift () =
+  let sim = Des.create () in
+  let times = ref [] in
+  Des.every sim ~interval:0.1 ~start:0.0 ~until:0.3 (fun s ->
+      times := Des.now s :: !times);
+  Des.run sim;
+  check Alcotest.int "fires at 0, 0.1, 0.2 and 0.3" 4 (List.length !times);
+  Alcotest.(check (float 1e-9)) "last tick on the boundary" 0.3 (List.hd !times)
+
+let test_des_every_start_beyond_until () =
+  let sim = Des.create () in
+  let count = ref 0 in
+  Des.every sim ~interval:1.0 ~start:5.0 ~until:2.0 (fun _ -> incr count);
+  Des.run sim;
+  check Alcotest.int "never fires" 0 !count
+
+(* An event scheduled with delay 0 from inside a handler runs at the
+   same instant but after everything already queued for that time. *)
+let test_des_same_instant_nested () =
+  let sim = Des.create () in
+  let log = ref [] in
+  Des.schedule sim ~delay:1.0 (fun s ->
+      log := "a" :: !log;
+      Des.schedule s ~delay:0.0 (fun _ -> log := "nested" :: !log));
+  Des.schedule sim ~delay:1.0 (fun _ -> log := "b" :: !log);
+  Des.run sim;
+  check
+    (Alcotest.list Alcotest.string)
+    "nested after queued peers" [ "a"; "b"; "nested" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "no time advance" 1.0 (Des.now sim)
+
+(* Two periodic streams sharing tick instants interleave in creation
+   order at every shared instant. *)
+let test_des_interleaved_every () =
+  let sim = Des.create () in
+  let log = ref [] in
+  Des.every sim ~interval:1.0 ~start:1.0 ~until:2.0 (fun _ -> log := "x" :: !log);
+  Des.every sim ~interval:1.0 ~start:1.0 ~until:2.0 (fun _ -> log := "y" :: !log);
+  Des.run sim;
+  check
+    (Alcotest.list Alcotest.string)
+    "x before y at each instant" [ "x"; "y"; "x"; "y" ] (List.rev !log)
+
+let test_des_nan_guards () =
+  let sim = Des.create () in
+  Alcotest.check_raises "nan delay" (Invalid_argument "Des.schedule: nan delay")
+    (fun () -> Des.schedule sim ~delay:nan (fun _ -> ()));
+  Alcotest.check_raises "nan time" (Invalid_argument "Des.schedule_at: time is nan")
+    (fun () -> Des.schedule_at sim ~time:nan (fun _ -> ()))
+
+(* The engine's own instrumentation: event counter and queue-depth
+   histogram appear when an enabled obs context is passed. *)
+let test_des_obs_instrumentation () =
+  let obs = Obs.create () in
+  let sim = Des.create ~obs () in
+  for i = 1 to 100 do
+    Des.schedule sim ~delay:(float_of_int i) (fun _ -> ())
+  done;
+  Des.run sim;
+  let c = Registry.counter (Obs.registry obs) "des_events_total" in
+  Alcotest.(check (float 1e-9)) "all events counted" 100.0 !c;
+  let h = Registry.histogram (Obs.registry obs) "des_queue_depth" in
+  Alcotest.(check bool) "queue depth sampled" true (Histogram.count h > 0)
+
 let test_metrics () =
   let m = Metrics.create () in
   Metrics.add m "bytes" 10.0;
@@ -85,6 +153,24 @@ let test_metrics () =
   Metrics.reset m;
   Alcotest.(check (float 1e-9)) "reset" 0.0 (Metrics.get m "bytes")
 
+(* reset zeroes values but keeps the keys (stable series identity for
+   windowed reporting); clear drops everything. *)
+let test_metrics_reset_vs_clear () =
+  let m = Metrics.create () in
+  Metrics.add m "bytes" 10.0;
+  Metrics.incr m "msgs";
+  Metrics.reset m;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 1e-9)))
+    "keys survive reset at 0" [ ("bytes", 0.0); ("msgs", 0.0) ]
+    (Metrics.to_sorted_list m);
+  Metrics.add m "bytes" 2.0;
+  Alcotest.(check (float 1e-9)) "accumulates after reset" 2.0 (Metrics.get m "bytes");
+  Metrics.clear m;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 1e-9)))
+    "clear drops keys" [] (Metrics.to_sorted_list m)
+
 let suite =
   [
     ("des ordering", `Quick, test_des_ordering);
@@ -96,5 +182,12 @@ let suite =
     ("des negative delay", `Quick, test_des_negative_delay);
     ("des past time", `Quick, test_des_past_time);
     ("des step", `Quick, test_des_step);
+    ("des every boundary drift", `Quick, test_des_every_boundary_drift);
+    ("des every start beyond until", `Quick, test_des_every_start_beyond_until);
+    ("des same-instant nested", `Quick, test_des_same_instant_nested);
+    ("des interleaved every", `Quick, test_des_interleaved_every);
+    ("des nan guards", `Quick, test_des_nan_guards);
+    ("des obs instrumentation", `Quick, test_des_obs_instrumentation);
     ("metrics", `Quick, test_metrics);
+    ("metrics reset vs clear", `Quick, test_metrics_reset_vs_clear);
   ]
