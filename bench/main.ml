@@ -33,23 +33,26 @@ let bench_beacon =
     Beaconing.duration = 600.0 *. 12.0 (* 2 h horizon keeps bench time sane *);
   }
 
-let regenerate ~quick () =
+let regenerate ~quick ~jobs () =
   if quick then begin
     (* Smoke subset: the cheap taxonomy plus the 21-AS testbed run. *)
     line "Table 1 — path management overhead comparison";
-    Table1.print ();
+    Table1.print (Table1.run ~jobs (Table1.config ~measure:false Exp_common.Tiny));
     line "Figures 7/8/9 — SCIONLab testbed (Appendix B)";
-    Scionlab_exp.print (Scionlab_exp.run ())
+    Scionlab_exp.print (Scionlab_exp.run ~jobs (Scionlab_exp.config ()))
   end
   else begin
     line "Table 1 — path management overhead comparison";
-    Table1.print ~measured:(Table1.measure Exp_common.Tiny) ();
+    Table1.print (Table1.run ~jobs (Table1.config Exp_common.Tiny));
     line "Figure 5 — control-plane overhead relative to BGP (bench scale)";
-    Fig5.print (Fig5.run ~beacon:bench_beacon Exp_common.Tiny);
+    Fig5.print (Fig5.run ~jobs (Fig5.config ~beacon:bench_beacon Exp_common.Tiny));
     line "Figure 6 — path quality (bench scale)";
-    Fig6.print (Fig6.run ~beacon:bench_beacon ~storage_limits:[ 15; 60 ] Exp_common.Tiny);
+    Fig6.print
+      (Fig6.run ~jobs
+         (Fig6.config ~beacon:bench_beacon ~storage_limits:[ Some 15; Some 60 ]
+            Exp_common.Tiny));
     line "Figures 7/8/9 — SCIONLab testbed (Appendix B)";
-    Scionlab_exp.print (Scionlab_exp.run ())
+    Scionlab_exp.print (Scionlab_exp.run ~jobs (Scionlab_exp.config ()))
   end
 
 (* --- Part 2: micro-benchmarks -------------------------------------- *)
@@ -219,17 +222,22 @@ let write_json ~file ~quick ~elapsed_s rows =
 let () =
   let quick = ref false in
   let out = ref "bench.json" in
+  let jobs = ref 1 in
   let spec =
     [
       ("--quick", Arg.Set quick, " smoke mode: reduced regeneration, 50 ms quota");
       ("--out", Arg.Set_string out, "FILE JSON results file (default bench.json)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N regenerate with N domains (0 = one per core; results are identical)" );
     ]
   in
   Arg.parse (Arg.align spec)
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench/main.exe [--quick] [--out FILE]";
+    "bench/main.exe [--quick] [--jobs N] [--out FILE]";
+  let jobs = if !jobs = 0 then Runner.default_jobs () else !jobs in
   let t0 = Unix.gettimeofday () in
-  regenerate ~quick:!quick ();
+  regenerate ~quick:!quick ~jobs ();
   let rows = run_benchmarks ~quick:!quick () in
   let elapsed_s = Unix.gettimeofday () -. t0 in
   write_json ~file:!out ~quick:!quick ~elapsed_s rows;

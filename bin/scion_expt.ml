@@ -1,10 +1,21 @@
-(* Experiment driver: one subcommand per paper artefact.
+(* Experiment driver.
+
+   Every experiment implements Scenario.Cli, so one generic subcommand
+   drives them all:
+
+     scion_expt run SCENARIO [--scale S] [--seed N] [--jobs N] [--out F]
+
+   with SCENARIO one of table1, fig5, fig6, scionlab, convergence,
+   latency, tune (see Scenarios.all). The historical per-experiment
+   subcommands remain as aliases with their extra flags:
 
    scion_expt table1 [--scale S] [--measure]
    scion_expt fig5   [--scale S]
    scion_expt fig6   [--scale S]
    scion_expt scionlab
    scion_expt tune   [--cores N] [--verbose]
+   scion_expt convergence [--scale S] [--failures N]
+   scion_expt latency [--scale S]
    scion_expt topo   [--scale S]
    scion_expt all    [--scale S] *)
 
@@ -22,11 +33,51 @@ let scale_term =
     & info [ "scale" ] ~docv:"SCALE"
         ~doc:"Experiment scale: tiny, small, medium or paper (\xc2\xa75.1 sizes).")
 
+let seed_term =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Override the experiment's deterministic seed (the topology seed for \
+           most scenarios).")
+
+let jobs_term =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the experiment's independent stages on $(docv) domains (0 = one \
+           per core). Results are identical for every value; 1 is fully \
+           sequential.")
+
+let out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Also write the experiment result as JSON to $(docv).")
+
+let resolve_jobs jobs = if jobs = 0 then Runner.default_jobs () else jobs
+
+(* The footer goes to stderr so stdout is byte-identical across runs
+   (and across --jobs values); wall-clock time is not deterministic. *)
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Printf.printf "\n[%s finished in %.1f s]\n%!" name (Unix.gettimeofday () -. t0);
+  Printf.eprintf "\n[%s finished in %.1f s]\n%!" name (Unix.gettimeofday () -. t0);
   r
+
+let write_result out json =
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (Obs_json.to_string_pretty json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "result written to %s\n%!" file)
+    out
 
 (* Shared observability flags: every subcommand accepts --metrics-out,
    --metrics-csv and --trace, and runs under an Obs context that is
@@ -93,95 +144,102 @@ let with_obs (metrics_out, metrics_csv, trace) f =
             metrics_csv)
         (fun () -> f obs)
 
+(* Run one scenario end to end: build, run, print, optionally export.
+   The aliases below feed hand-built configs through the same path. *)
+let exec (type c) (module S : Scenario.Cli with type config = c) (config : c) jobs
+    out obs_opts =
+  with_obs obs_opts (fun obs ->
+      timed S.name (fun () ->
+          let result = S.run ~obs ~jobs:(resolve_jobs jobs) config in
+          S.print result;
+          write_result out (S.to_json result)))
+
+let run_cmd =
+  let scenario =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            (Printf.sprintf "The scenario to run: %s."
+               (String.concat ", " Scenarios.names)))
+  in
+  let run name scale seed jobs out obs_opts =
+    match Scenarios.find name with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown scenario %S (available: %s)" name
+              (String.concat ", " Scenarios.names) )
+    | Some (module S : Scenario.Cli) ->
+        exec (module S) (S.config_of_cli { Scenario.scale; seed }) jobs out obs_opts;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run any experiment through the generic scenario driver")
+    Term.(
+      ret (const run $ scenario $ scale_term $ seed_term $ jobs_term $ out_term $ obs_term))
+
 let table1_cmd =
   let measure =
     Arg.(value & flag & info [ "measure" ] ~doc:"Also run the grounding simulation.")
   in
-  let run scale measure obs_opts =
-    with_obs obs_opts (fun obs ->
-        timed "table1" (fun () ->
-            if measure then Table1.print ~measured:(Table1.measure ~obs scale) ()
-            else Table1.print ()))
+  let run scale measure jobs out obs_opts =
+    exec (module Table1) (Table1.config ~measure scale) jobs out obs_opts
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Table 1: control-plane overhead taxonomy")
-    Term.(const run $ scale_term $ measure $ obs_term)
+    Term.(const run $ scale_term $ measure $ jobs_term $ out_term $ obs_term)
+
+let scenario_alias (module S : Scenario.Cli) ~doc =
+  let run scale seed jobs out obs_opts =
+    exec (module S) (S.config_of_cli { Scenario.scale; seed }) jobs out obs_opts
+  in
+  Cmd.v (Cmd.info S.name ~doc)
+    Term.(const run $ scale_term $ seed_term $ jobs_term $ out_term $ obs_term)
 
 let fig5_cmd =
-  let run scale obs_opts =
-    with_obs obs_opts (fun obs ->
-        timed "fig5" (fun () -> Fig5.print (Fig5.run ~obs scale)))
-  in
-  Cmd.v
-    (Cmd.info "fig5" ~doc:"Figure 5: control-plane overhead relative to BGP")
-    Term.(const run $ scale_term $ obs_term)
+  scenario_alias (module Fig5) ~doc:"Figure 5: control-plane overhead relative to BGP"
 
 let fig6_cmd =
-  let run scale obs_opts =
-    with_obs obs_opts (fun obs ->
-        timed "fig6" (fun () -> Fig6.print (Fig6.run ~obs scale)))
-  in
-  Cmd.v
-    (Cmd.info "fig6" ~doc:"Figure 6: path quality (resilience and capacity)")
-    Term.(const run $ scale_term $ obs_term)
+  scenario_alias (module Fig6) ~doc:"Figure 6: path quality (resilience and capacity)"
 
 let scionlab_cmd =
-  let run obs_opts =
-    with_obs obs_opts (fun obs ->
-        timed "scionlab" (fun () -> Scionlab_exp.print (Scionlab_exp.run ~obs ())))
+  scenario_alias (module Scionlab_exp) ~doc:"Appendix B: SCIONLab figures 7, 8 and 9"
+
+let latency_cmd =
+  scenario_alias
+    (module Latency_exp)
+    ~doc:"Latency-aware path construction (section 4.2 'other criteria' extension)"
+
+let convergence_cmd =
+  let failures =
+    Arg.(value & opt int 5 & info [ "failures" ] ~docv:"N" ~doc:"Adjacencies to fail.")
+  in
+  let run scale failures seed jobs out obs_opts =
+    let config =
+      match seed with
+      | None -> Convergence.config ~n_failures:failures scale
+      | Some seed -> Convergence.config ~n_failures:failures ~seed scale
+    in
+    exec (module Convergence) config jobs out obs_opts
   in
   Cmd.v
-    (Cmd.info "scionlab" ~doc:"Appendix B: SCIONLab figures 7, 8 and 9")
-    Term.(const run $ obs_term)
+    (Cmd.info "convergence"
+       ~doc:"BGP reconvergence vs SCION failover after link failures")
+    Term.(const run $ scale_term $ failures $ seed_term $ jobs_term $ out_term $ obs_term)
 
 let tune_cmd =
   let cores =
     Arg.(value & opt int 30 & info [ "cores" ] ~docv:"N" ~doc:"Core ASes in the tuning topology.")
   in
   let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every candidate.") in
-  let run cores verbose =
-    timed "tune" (fun () ->
-        let full =
-          Caida_like.generate { Caida_like.small_params with Caida_like.n = cores * 8 }
-        in
-        let core, _ = Caida_like.core_subset full ~k:cores in
-        let best = Tuning.grid_search ~verbose core in
-        let p = best.Tuning.params in
-        Printf.printf
-          "Best parameters: alpha=%.1f beta=%.2f gamma=%.1f threshold=%.3f gm_max=%.1f\n"
-          p.Beacon_policy.alpha p.Beacon_policy.beta p.Beacon_policy.gamma
-          p.Beacon_policy.threshold p.Beacon_policy.gm_max;
-        Printf.printf "connectivity=%.3f capacity=%.3f overhead=%.3g bytes score=%.3f\n"
-          best.Tuning.connectivity best.Tuning.capacity_fraction
-          best.Tuning.overhead_bytes best.Tuning.score)
+  let run cores verbose jobs out obs_opts =
+    exec (module Tuning) (Tuning.config ~cores ~verbose ()) jobs out obs_opts
   in
   Cmd.v
-    (Cmd.info "tune" ~doc:"Grid search for diversity parameters (\\u00a74.2)")
-    Term.(const run $ cores $ verbose)
-
-let convergence_cmd =
-  let failures =
-    Arg.(value & opt int 5 & info [ "failures" ] ~docv:"N" ~doc:"Links to fail.")
-  in
-  let run scale failures obs_opts =
-    with_obs obs_opts (fun obs ->
-        timed "convergence" (fun () ->
-            Convergence.print (Convergence.run ~obs ~n_failures:failures scale)))
-  in
-  Cmd.v
-    (Cmd.info "convergence"
-       ~doc:"BGP reconvergence vs SCION failover after link failures")
-    Term.(const run $ scale_term $ failures $ obs_term)
-
-let latency_cmd =
-  let run scale obs_opts =
-    with_obs obs_opts (fun obs ->
-        timed "latency" (fun () -> Latency_exp.print (Latency_exp.run ~obs scale)))
-  in
-  Cmd.v
-    (Cmd.info "latency"
-       ~doc:"Latency-aware path construction (section 4.2 'other criteria' extension)")
-    Term.(const run $ scale_term $ obs_term)
+    (Cmd.info "tune" ~doc:"Grid search for diversity parameters (section 4.2)")
+    Term.(const run $ cores $ verbose $ jobs_term $ out_term $ obs_term)
 
 let lookup_cmd =
   let requests =
@@ -244,24 +302,22 @@ let topo_cmd =
     Term.(const run $ scale_term $ save)
 
 let all_cmd =
-  let run scale obs_opts =
+  let run scale seed jobs obs_opts =
     with_obs obs_opts (fun obs ->
         timed "all" (fun () ->
-            Table1.print ~measured:(Table1.measure ~obs scale) ();
-            print_newline ();
-            Fig5.print (Fig5.run ~obs scale);
-            print_newline ();
-            Fig6.print (Fig6.run ~obs scale);
-            print_newline ();
-            Scionlab_exp.print (Scionlab_exp.run ~obs ());
-            print_newline ();
-            Convergence.print (Convergence.run ~obs scale);
-            print_newline ();
-            Latency_exp.print (Latency_exp.run ~obs scale)))
+            let cli = { Scenario.scale; seed } in
+            let jobs = resolve_jobs jobs in
+            (* Every registered scenario except the grid search, which
+               is a tool rather than a paper artefact. *)
+            Scenarios.all
+            |> List.filter (fun (module S : Scenario.Cli) -> S.name <> Tuning.name)
+            |> List.iteri (fun i (module S : Scenario.Cli) ->
+                   if i > 0 then print_newline ();
+                   S.print (S.run ~obs ~jobs (S.config_of_cli cli)))))
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment at the given scale")
-    Term.(const run $ scale_term $ obs_term)
+    Term.(const run $ scale_term $ seed_term $ jobs_term $ obs_term)
 
 let () =
   let info =
@@ -274,6 +330,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
+            run_cmd;
             table1_cmd;
             fig5_cmd;
             fig6_cmd;

@@ -14,42 +14,43 @@ type result = {
   samples : failure_sample list;
 }
 
-let run ?(obs = Obs.disabled) ?(n_failures = 5) ?(seed = 0xC0117L) scale =
-  let prepared = Exp_common.prepare scale in
-  let core = prepared.Exp_common.core in
-  let rng = Rng.create seed in
-  (* BGP over the core mesh: full transit, length-only decision (the
-     §5.3 best-case model). *)
-  let bgp =
-    Bgp_sim.create ~obs core { Bgp_sim.default_config with Bgp_sim.full_transit = true }
-  in
-  Bgp_sim.announce_all bgp;
-  let initial_convergence_s =
-    Obs.phase obs "convergence.bgp_initial" (fun () -> Bgp_sim.run_to_quiescence bgp)
-  in
-  let initial_updates = (Bgp_sim.stats bgp).Bgp_sim.updates_sent in
-  (* SCION: one diversity beaconing run; paths are then stable. *)
-  let scion =
-    Obs.phase obs "convergence.beaconing" (fun () ->
-        Beaconing.run ~obs core
-          {
-            Exp_common.beacon_config with
-            Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params;
-          })
-  in
-  let now = Exp_common.beacon_config.Beaconing.duration -. 1.0 in
-  let prop = Bgp_sim.default_config.Bgp_sim.propagation_delay in
-  (* Sample distinct links with enough redundancy that both protocols
-     survive the failure. *)
-  let samples = ref [] in
+type config = {
+  scale : Exp_common.scale;
+  n_failures : int;
+  seed : int64;
+}
+
+let config ?(n_failures = 5) ?(seed = 0xC0117L) scale = { scale; n_failures; seed }
+
+let name = "convergence"
+
+let doc = "BGP reconvergence vs SCION failover after link failures"
+
+let config_of_cli (c : Scenario.cli) = config ?seed:c.seed c.scale
+
+(* An adjacency failure chosen by the selection pass: every parallel
+   link between the two ASes goes down (a shared conduit failing), and
+   the SCION side of the answer is already known from the beacon
+   stores alone. *)
+type selected = {
+  sel_link : int;
+  sel_siblings : int list;
+  sel_alternatives : int;
+  sel_dist : int;
+}
+
+(* Sample distinct adjacencies with enough redundancy that both
+   protocols survive the failure. Consumes only the RNG and the beacon
+   stores, so it is cheap and stays sequential; the expensive BGP churn
+   measurements then fan out over the selected adjacencies. *)
+let select_failures ~rng ~core ~scion ~now ~n_failures =
+  let selected = ref [] in
   let used = Hashtbl.create 8 in
   let attempts = ref 0 in
-  while List.length !samples < n_failures && !attempts < 500 do
+  while List.length !selected < n_failures && !attempts < 500 do
     incr attempts;
     let l = Rng.int rng (Graph.num_links core) in
     if not (Hashtbl.mem used l) then begin
-      (* The failure takes down the whole adjacency: every parallel
-         link between the two ASes (a shared conduit failing). *)
       let lk = Graph.link core l in
       let siblings =
         List.map
@@ -91,34 +92,117 @@ let run ?(obs = Obs.disabled) ?(n_failures = 5) ?(seed = 0xC0117L) scale =
       | [] -> ()
       | (_, alternatives, dist) :: _ ->
           List.iter (fun sl -> Hashtbl.replace used sl ()) siblings;
-          (* BGP churn for the adjacency failure. *)
-          Bgp_sim.reset_stats bgp;
-          let t0 = Des.now (Bgp_sim.sim bgp) in
-          List.iter (Bgp_sim.fail_link bgp) siblings;
-          let tq = Bgp_sim.run_to_quiescence bgp in
-          let st = Bgp_sim.stats bgp in
-          let sample =
-            {
-              link = l;
-              bgp_convergence_s = tq -. t0;
-              bgp_updates = st.Bgp_sim.updates_sent + st.Bgp_sim.withdrawals_sent;
-              bgp_bytes = st.Bgp_sim.bytes_sent;
-              (* SCMP travels back from the failure point; the endpoint
-                 switches to an already-known path immediately. *)
-              scion_failover_s = float_of_int dist *. prop;
-              scion_control_messages = 0;
-              scion_alternatives_ready = alternatives;
-            }
-          in
-          samples := sample :: !samples;
-          (* Restore for the next sample. *)
-          List.iter (Bgp_sim.restore_link bgp) siblings;
-          ignore (Bgp_sim.run_to_quiescence bgp)
+          selected :=
+            { sel_link = l; sel_siblings = siblings; sel_alternatives = alternatives;
+              sel_dist = dist }
+            :: !selected
     end
   done;
-  { initial_convergence_s; initial_updates; samples = List.rev !samples }
+  List.rev !selected
 
-let print r =
+(* Each trial owns a private BGP simulator brought to quiescence from
+   scratch, so trials are independent (and parallelisable) instead of
+   threading one simulator through fail/restore cycles. *)
+type task = T_initial | T_sample of selected
+
+type task_result = R_initial of float * int | R_sample of failure_sample
+
+let run ?(obs = Obs.disabled) ?(jobs = 1) { scale; n_failures; seed } =
+  let prepared = Exp_common.prepare scale in
+  let core = prepared.Exp_common.core in
+  let rng = Rng.create seed in
+  let bgp_config = { Bgp_sim.default_config with Bgp_sim.full_transit = true } in
+  (* SCION: one diversity beaconing run; paths are then stable. *)
+  let scion =
+    Obs.phase obs "convergence.beaconing" (fun () ->
+        Beaconing.run ~obs core
+          {
+            Exp_common.beacon_config with
+            Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params;
+          })
+  in
+  let now = Exp_common.beacon_config.Beaconing.duration -. 1.0 in
+  let prop = Bgp_sim.default_config.Bgp_sim.propagation_delay in
+  let selected = select_failures ~rng ~core ~scion ~now ~n_failures in
+  (* BGP over the core mesh: full transit, length-only decision (the
+     §5.3 best-case model). *)
+  let converged ~obs () =
+    let bgp = Bgp_sim.create ~obs core bgp_config in
+    Bgp_sim.announce_all bgp;
+    let t = Bgp_sim.run_to_quiescence bgp in
+    (bgp, t)
+  in
+  let tasks = Array.of_list (T_initial :: List.map (fun s -> T_sample s) selected) in
+  let task_results =
+    Runner.map_jobs_obs ~obs ~jobs
+      (fun ~obs task ->
+        match task with
+        | T_initial ->
+            let bgp, t =
+              Obs.phase obs "convergence.bgp_initial" (fun () -> converged ~obs ())
+            in
+            R_initial (t, (Bgp_sim.stats bgp).Bgp_sim.updates_sent)
+        | T_sample s ->
+            Obs.phase obs "convergence.bgp_failure" (fun () ->
+                let bgp, _ = converged ~obs () in
+                (* Churn for the adjacency failure, measured from the
+                   converged state. *)
+                Bgp_sim.reset_stats bgp;
+                let t0 = Des.now (Bgp_sim.sim bgp) in
+                List.iter (Bgp_sim.fail_link bgp) s.sel_siblings;
+                let tq = Bgp_sim.run_to_quiescence bgp in
+                let st = Bgp_sim.stats bgp in
+                R_sample
+                  {
+                    link = s.sel_link;
+                    bgp_convergence_s = tq -. t0;
+                    bgp_updates = st.Bgp_sim.updates_sent + st.Bgp_sim.withdrawals_sent;
+                    bgp_bytes = st.Bgp_sim.bytes_sent;
+                    (* SCMP travels back from the failure point; the
+                       endpoint switches to an already-known path
+                       immediately. *)
+                    scion_failover_s = float_of_int s.sel_dist *. prop;
+                    scion_control_messages = 0;
+                    scion_alternatives_ready = s.sel_alternatives;
+                  }))
+      tasks
+  in
+  let initial_convergence_s, initial_updates =
+    match task_results.(0) with
+    | R_initial (t, u) -> (t, u)
+    | R_sample _ -> assert false
+  in
+  let samples =
+    Array.to_list task_results
+    |> List.filter_map (function R_sample s -> Some s | R_initial _ -> None)
+  in
+  { initial_convergence_s; initial_updates; samples }
+
+let to_json (r : result) =
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String name);
+      ("initial_convergence_s", Obs_json.Float r.initial_convergence_s);
+      ("initial_updates", Obs_json.Int r.initial_updates);
+      ( "samples",
+        Obs_json.List
+          (List.map
+             (fun s ->
+               Obs_json.Obj
+                 [
+                   ("link", Obs_json.Int s.link);
+                   ("bgp_convergence_s", Obs_json.Float s.bgp_convergence_s);
+                   ("bgp_updates", Obs_json.Int s.bgp_updates);
+                   ("bgp_bytes", Obs_json.Float s.bgp_bytes);
+                   ("scion_failover_s", Obs_json.Float s.scion_failover_s);
+                   ("scion_control_messages", Obs_json.Int s.scion_control_messages);
+                   ( "scion_alternatives_ready",
+                     Obs_json.Int s.scion_alternatives_ready );
+                 ])
+             r.samples) );
+    ]
+
+let print (r : result) =
   Printf.printf "Convergence after link failure — BGP vs SCION (§5 note)\n\n";
   Printf.printf "BGP initial convergence: %.2f s, %d updates\n\n" r.initial_convergence_s
     r.initial_updates;

@@ -13,6 +13,23 @@ type result = {
   isd_ases : int;
 }
 
+type config = {
+  scale : Exp_common.scale;
+  seed : int64 option;
+  diversity : Beacon_policy.div_params;
+  beacon : Beaconing.config;
+}
+
+let config ?seed ?(diversity = Beacon_policy.default_div_params)
+    ?(beacon = Exp_common.beacon_config) scale =
+  { scale; seed; diversity; beacon }
+
+let name = "fig5"
+
+let doc = "Figure 5: control-plane overhead relative to BGP"
+
+let config_of_cli (c : Scenario.cli) = config ?seed:c.seed c.scale
+
 (* Per-interface monthly bytes, the quantity comparable to a monitor's
    single BGP session (one full feed = one interface). *)
 let monthly_scion_bytes outcome monitors =
@@ -28,9 +45,15 @@ let make_series name ~bgp values =
   let ratios = Array.mapi (fun i v -> v /. max 1.0 bgp.(i)) values in
   { name; ratios; summary = Stats.five_number ratios }
 
-let run ?(obs = Obs.disabled) ?(diversity = Beacon_policy.default_div_params)
-    ?(beacon = Exp_common.beacon_config) scale =
-  let prepared = Obs.phase obs "fig5.prepare" (fun () -> Exp_common.prepare scale) in
+(* The four heavy stages are independent: BGP/BGPsec accounting on the
+   full topology and three beaconing simulations on two further
+   graphs. They fan out as one parallel job each. *)
+type stage = S_bgp of Bgp_overhead.result | S_beacon of Beaconing.outcome
+
+let run ?(obs = Obs.disabled) ?(jobs = 1) { scale; seed; diversity; beacon } =
+  let prepared =
+    Obs.phase obs "fig5.prepare" (fun () -> Exp_common.prepare ?seed scale)
+  in
   let full = prepared.Exp_common.full in
   let core = prepared.Exp_common.core in
   let isd = prepared.Exp_common.isd in
@@ -42,32 +65,46 @@ let run ?(obs = Obs.disabled) ?(diversity = Beacon_policy.default_div_params)
     min 400.0 (400.0 *. float_of_int (Graph.n core) /. float_of_int (Graph.n full))
   in
   let workload = Bgp_overhead.make_workload ~prefix_mean full ~seed:0xB6FL in
-  let bgp =
-    Obs.phase obs "fig5.bgp_overhead" (fun () ->
-        Bgp_overhead.monthly_overhead full workload
-          ~monitors:prepared.Exp_common.monitors_full Bgp_overhead.default_params)
+  let cfg = beacon in
+  let stages =
+    [|
+      (fun ~obs ->
+        S_bgp
+          (Obs.phase obs "fig5.bgp_overhead" (fun () ->
+               Bgp_overhead.monthly_overhead full workload
+                 ~monitors:prepared.Exp_common.monitors_full
+                 Bgp_overhead.default_params)));
+      (fun ~obs ->
+        S_beacon
+          (Obs.phase obs "fig5.beaconing.baseline" (fun () ->
+               Beaconing.run ~obs core cfg)));
+      (fun ~obs ->
+        S_beacon
+          (Obs.phase obs "fig5.beaconing.diversity" (fun () ->
+               Beaconing.run ~obs core
+                 { cfg with Beaconing.algorithm = Beacon_policy.Diversity diversity })));
+      (* Intra-ISD beaconing (baseline, as in the paper). *)
+      (fun ~obs ->
+        S_beacon
+          (Obs.phase obs "fig5.beaconing.intra_isd" (fun () ->
+               Beaconing.run ~obs isd { cfg with Beaconing.scope = Beaconing.Intra_isd })));
+    |]
+  in
+  let bgp, base_out, div_out, intra_out =
+    match Runner.map_jobs_obs ~obs ~jobs (fun ~obs stage -> stage ~obs) stages with
+    | [| S_bgp bgp; S_beacon base; S_beacon div; S_beacon intra |] ->
+        (bgp, base, div, intra)
+    | _ -> assert false
   in
   let bgp_bytes = bgp.Bgp_overhead.bgp_bytes in
-  (* SCION core beaconing, baseline and diversity. *)
-  let cfg = beacon in
-  let base_out = Obs.phase obs "fig5.beaconing.baseline" (fun () -> Beaconing.run ~obs core cfg) in
-  let div_out =
-    Obs.phase obs "fig5.beaconing.diversity" (fun () ->
-        Beaconing.run ~obs core
-          { cfg with Beaconing.algorithm = Beacon_policy.Diversity diversity })
-  in
   let monitors_core = prepared.Exp_common.monitors_core in
   let base_bytes = monthly_scion_bytes base_out monitors_core in
   let div_bytes = monthly_scion_bytes div_out monitors_core in
-  (* Intra-ISD beaconing (baseline, as in the paper). The per-AS
-     samples are rank-paired with the monitors: i-th highest-degree ISD
-     member against the i-th monitor. *)
-  let intra_out =
-    Obs.phase obs "fig5.beaconing.intra_isd" (fun () ->
-        Beaconing.run ~obs isd { cfg with Beaconing.scope = Beaconing.Intra_isd })
-  in
+  (* The intra-ISD per-AS samples are rank-paired with the monitors:
+     i-th highest-degree ISD member against the i-th monitor. *)
   let isd_samples =
-    Bgp_overhead.top_degree_monitors isd ~count:(List.length prepared.Exp_common.monitors_full)
+    Bgp_overhead.top_degree_monitors isd
+      ~count:(List.length prepared.Exp_common.monitors_full)
   in
   let intra_bytes = monthly_scion_bytes intra_out isd_samples in
   let series =
@@ -99,7 +136,34 @@ let run ?(obs = Obs.disabled) ?(diversity = Beacon_policy.default_div_params)
     isd_ases = Graph.n isd;
   }
 
-let print r =
+let to_json (r : result) =
+  let floats a = Obs_json.List (List.map (fun v -> Obs_json.Float v) (Array.to_list a)) in
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String name);
+      ("scale", Obs_json.String (Exp_common.scale_to_string r.scale));
+      ("full_ases", Obs_json.Int r.full_ases);
+      ("core_ases", Obs_json.Int r.core_ases);
+      ("isd_ases", Obs_json.Int r.isd_ases);
+      ("bgp_monthly_bytes", floats r.bgp_bytes);
+      ( "series",
+        Obs_json.List
+          (List.map
+             (fun s ->
+               Obs_json.Obj
+                 [
+                   ("name", Obs_json.String s.name);
+                   ("min", Obs_json.Float s.summary.Stats.min);
+                   ("p25", Obs_json.Float s.summary.Stats.p25);
+                   ("median", Obs_json.Float s.summary.Stats.median);
+                   ("p75", Obs_json.Float s.summary.Stats.p75);
+                   ("max", Obs_json.Float s.summary.Stats.max);
+                   ("ratios", floats s.ratios);
+                 ])
+             r.series) );
+    ]
+
+let print (r : result) =
   Printf.printf
     "Figure 5 — monthly control-plane overhead relative to BGP (scale=%s)\n"
     (Exp_common.scale_to_string r.scale);

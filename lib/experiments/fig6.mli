@@ -6,10 +6,24 @@
     capacity per inter-AS link. By Menger's theorem this single number
     is both Fig. 6a's minimum number of failing links that disconnects
     the pair and Fig. 6b's capacity in multiples of inter-AS links
-    (§5.3 notes the equivalence). *)
+    (§5.3 notes the equivalence).
+
+    Implements {!Scenario.Cli}: drive it through [scion_expt run fig6]
+    or directly via {!config} and {!run}. *)
+
+(** Algorithms are identified structurally, not by display string, so
+    renaming a label can never silently turn a headline check into
+    [nan]. Storage limits are [int option]: [None] means unlimited (no
+    [max_int] sentinel in this interface). *)
+type algo_kind =
+  | Bgp
+  | Baseline of int  (** SCION baseline at the given storage limit *)
+  | Diversity of int option
+      (** SCION diversity; [None] = unlimited storage (∞ column) *)
 
 type algo = {
-  name : string;
+  kind : algo_kind;
+  name : string;  (** display string derived from [kind] *)
   flows : int array;  (** per sampled pair *)
 }
 
@@ -20,21 +34,50 @@ type result = {
   algos : algo list;  (** BGP, baseline, diversity at each storage limit *)
 }
 
-val run :
-  ?obs:Obs.t ->
+type config = {
+  scale : Exp_common.scale;
+  seed : int64 option;  (** topology seed override (default §5.1 seed) *)
+  diversity : Beacon_policy.div_params;
+  storage_limits : int option list;
+  beacon : Beaconing.config;
+}
+
+val baseline_limit : int
+(** The baseline's storage limit (60, as in §5.1). *)
+
+val config :
+  ?seed:int64 ->
   ?diversity:Beacon_policy.div_params ->
-  ?storage_limits:int list ->
+  ?storage_limits:int option list ->
   ?beacon:Beaconing.config ->
   Exp_common.scale ->
-  result
-(** [storage_limits] defaults to [\[15; 30; 60; max_int\]] (∞ printed
-    for [max_int]), matching Fig. 6. The baseline runs at limit 60.
+  config
+(** [storage_limits] defaults to [\[Some 15; Some 30; Some 60; None\]]
+    (∞ printed for [None]), matching Fig. 6. *)
+
+val name : string
+
+val doc : string
+
+val config_of_cli : Scenario.cli -> config
+
+val run : ?obs:Obs.t -> ?jobs:int -> config -> result
+(** With [jobs > 1] the independent stages — the optimum min-cuts, the
+    BGP flows, the baseline beaconing run and one diversity run per
+    storage limit — execute on that many domains; the result is
+    identical for every [jobs] value.
+
     With an enabled [obs] (default {!Obs.disabled}) the stages are
     timed as [fig6.*] phases and the beaconing runs instrumented. *)
 
-val capacity_fraction : result -> string -> float
-(** Mean achieved/optimal capacity over the sampled pairs for the named
-    algorithm (the 82–99 % numbers of §5.3). *)
+val capacity_fraction : result -> algo_kind -> float
+(** Mean achieved/optimal capacity over the sampled pairs for the
+    algorithm with the given kind (the 82–99 % numbers of §5.3); [nan]
+    if the result holds no such algorithm. *)
+
+val to_json : result -> Obs_json.t
+(** Per-pair optimum cuts and, per algorithm, the flows array and
+    capacity fraction. *)
 
 val print : result -> unit
 (** Fig. 6a: mean achieved resilience grouped by optimal min-cut, plus

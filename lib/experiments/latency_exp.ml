@@ -12,6 +12,20 @@ type result = {
   algos : algo_result list;
 }
 
+type config = {
+  scale : Exp_common.scale;
+  seed : int64 option;
+  beacon : Beaconing.config;
+}
+
+let config ?seed ?(beacon = Exp_common.beacon_config) scale = { scale; seed; beacon }
+
+let name = "latency"
+
+let doc = "Latency-aware path construction (§4.2 extension)"
+
+let config_of_cli (c : Scenario.cli) = config ?seed:c.seed c.scale
+
 let evaluate name core weights pairs (outcome : Beaconing.outcome) =
   let now = outcome.Beaconing.config.Beaconing.duration -. 1.0 in
   let stretch =
@@ -34,48 +48,71 @@ let evaluate name core weights pairs (outcome : Beaconing.outcome) =
     overhead_bytes = outcome.Beaconing.stats.Beaconing.total_bytes;
   }
 
-let run ?(obs = Obs.disabled) ?(beacon = Exp_common.beacon_config) scale =
-  let prepared = Exp_common.prepare scale in
+let run ?(obs = Obs.disabled) ?(jobs = 1) { scale; seed; beacon } =
+  let prepared = Exp_common.prepare ?seed scale in
   let core = prepared.Exp_common.core in
   let weights = Geo.latency_table core in
   let d = Exp_common.dimensions scale in
   let pairs =
     Exp_common.sample_pairs core ~count:d.Exp_common.sample_pairs ~seed:0x1A7E9CL
   in
-  let base_out = Obs.phase obs "latency.beaconing.baseline" (fun () -> Beaconing.run ~obs core beacon) in
-  let div_out =
-    Obs.phase obs "latency.beaconing.diversity" (fun () ->
-        Beaconing.run ~obs core
-          { beacon with Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params })
-  in
   (* Scale chosen so a typical diameter-length path scores mid-range. *)
   let lat_scale = 4.0 *. Stats.mean weights *. 8.0 in
-  let lat_out =
-    Obs.phase obs "latency.beaconing.latency_aware" (fun () ->
-        Beaconing.run ~obs core
-          {
-            beacon with
-            Beaconing.algorithm =
-              Beacon_policy.Latency_aware
-                {
-                  Beacon_policy.base = Beacon_policy.default_div_params;
-                  link_latency_ms = weights;
-                  latency_scale_ms = lat_scale;
-                };
-          })
+  (* One independent stage per algorithm: beaconing plus the stretch
+     evaluation against the Dijkstra optimum. *)
+  let stages =
+    [|
+      ("SCION Baseline (60)", "latency.beaconing.baseline", beacon);
+      ( "SCION Diversity (60)",
+        "latency.beaconing.diversity",
+        {
+          beacon with
+          Beaconing.algorithm = Beacon_policy.Diversity Beacon_policy.default_div_params;
+        } );
+      ( "SCION Latency-aware (60)",
+        "latency.beaconing.latency_aware",
+        {
+          beacon with
+          Beaconing.algorithm =
+            Beacon_policy.Latency_aware
+              {
+                Beacon_policy.base = Beacon_policy.default_div_params;
+                link_latency_ms = weights;
+                latency_scale_ms = lat_scale;
+              };
+        } );
+    |]
   in
-  {
-    scale;
-    pairs;
-    algos =
-      [
-        evaluate "SCION Baseline (60)" core weights pairs base_out;
-        evaluate "SCION Diversity (60)" core weights pairs div_out;
-        evaluate "SCION Latency-aware (60)" core weights pairs lat_out;
-      ];
-  }
+  let algos =
+    Runner.map_jobs_obs ~obs ~jobs
+      (fun ~obs (algo_name, phase, cfg) ->
+        let out = Obs.phase obs phase (fun () -> Beaconing.run ~obs core cfg) in
+        evaluate algo_name core weights pairs out)
+      stages
+  in
+  { scale; pairs; algos = Array.to_list algos }
 
-let print r =
+let to_json (r : result) =
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String name);
+      ("scale", Obs_json.String (Exp_common.scale_to_string r.scale));
+      ("pairs", Obs_json.Int (Array.length r.pairs));
+      ( "algos",
+        Obs_json.List
+          (List.map
+             (fun a ->
+               Obs_json.Obj
+                 [
+                   ("name", Obs_json.String a.name);
+                   ("mean_stretch", Obs_json.Float a.mean_stretch);
+                   ("p95_stretch", Obs_json.Float a.p95_stretch);
+                   ("overhead_bytes", Obs_json.Float a.overhead_bytes);
+                 ])
+             r.algos) );
+    ]
+
+let print (r : result) =
   Printf.printf
     "Latency-aware path construction (§4.2 extension) — scale=%s, %d AS pairs\n\n"
     (Exp_common.scale_to_string r.scale)

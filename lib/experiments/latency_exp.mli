@@ -6,7 +6,10 @@
     best (lowest-latency) disseminated path per AS pair under the
     baseline, the diversity algorithm, and the latency-aware variant,
     against the true latency optimum (Dijkstra). Reported as latency
-    stretch = best stored / optimal. *)
+    stretch = best stored / optimal.
+
+    Implements {!Scenario.Cli}: drive it through
+    [scion_expt run latency] or directly via {!config} and {!run}. *)
 
 type algo_result = {
   name : string;
@@ -22,10 +25,29 @@ type result = {
   algos : algo_result list;
 }
 
-val run : ?obs:Obs.t -> ?beacon:Beaconing.config -> Exp_common.scale -> result
-(** [beacon] overrides the §5.1 beaconing configuration. With an
-    enabled [obs] (default {!Obs.disabled}) the three beaconing runs
-    are instrumented and timed as [latency.*] phases. *)
+type config = {
+  scale : Exp_common.scale;
+  seed : int64 option;  (** topology seed override (default §5.1 seed) *)
+  beacon : Beaconing.config;
+}
+
+val config : ?seed:int64 -> ?beacon:Beaconing.config -> Exp_common.scale -> config
+(** [beacon] overrides the §5.1 beaconing configuration. *)
+
+val name : string
+
+val doc : string
+
+val config_of_cli : Scenario.cli -> config
+
+val run : ?obs:Obs.t -> ?jobs:int -> config -> result
+(** With [jobs > 1] the three algorithm stages (beaconing + stretch
+    evaluation each) run on that many domains; the result is identical
+    for every [jobs] value. With an enabled [obs] (default
+    {!Obs.disabled}) the beaconing runs are instrumented and timed as
+    [latency.*] phases. *)
+
+val to_json : result -> Obs_json.t
 
 val print : result -> unit
 (** One row per algorithm: mean and p95 latency stretch plus absolute

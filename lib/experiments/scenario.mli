@@ -1,0 +1,60 @@
+(** The unified experiment interface.
+
+    Every paper artefact (Table 1, Figs. 5/6, convergence, latency,
+    SCIONLab, tuning) implements this one module type instead of an
+    ad-hoc [run] signature: a [config] value fully describes a run, a
+    [result] value fully describes its outcome, and the three
+    operations — execute, serialise, pretty-print — are uniform. This
+    is what lets the CLI drive any experiment through one generic
+    [run <scenario>] subcommand, lets the registry ({!Scenarios.all})
+    enumerate them as first-class modules, and lets tests compare
+    [jobs:1] against [jobs:n] runs for every scenario the same way.
+
+    Implementations must be {e deterministic in [config]}: two runs
+    with equal configs (at any [jobs] value) must produce equal
+    results. Parallelism, therefore, is an execution hint, not part of
+    the experiment's identity. *)
+
+type cli = {
+  scale : Exp_common.scale;  (** the shared [--scale] flag *)
+  seed : int64 option;  (** the shared [--seed] flag, if given *)
+}
+(** The shared command-line inputs the generic driver can offer a
+    scenario; {!Cli.config_of_cli} turns them into the scenario's own
+    config (ignoring what does not apply — e.g. the SCIONLab topology
+    is fixed, so it ignores [scale]). *)
+
+(** An experiment: deterministic, parallelisable, serialisable. *)
+module type S = sig
+  type config
+  (** Complete description of one run. *)
+
+  type result
+  (** Complete outcome of one run. *)
+
+  val run : ?obs:Obs.t -> ?jobs:int -> config -> result
+  (** Execute. [obs] (default {!Obs.disabled}) collects metrics, phase
+      timers and traces; [jobs] (default 1) bounds the number of
+      domains used for the experiment's independent sub-computations.
+      The result must not depend on [jobs]. *)
+
+  val to_json : result -> Obs_json.t
+  (** Machine-readable result document (the [--out] export). *)
+
+  val print : result -> unit
+  (** The paper-style rendering on stdout. *)
+end
+
+(** An experiment plus what the CLI needs to drive it generically. *)
+module type Cli = sig
+  include S
+
+  val name : string
+  (** Subcommand name ([fig5], [table1], …). *)
+
+  val doc : string
+  (** One-line description for [--help]. *)
+
+  val config_of_cli : cli -> config
+  (** Default config from the shared flags. *)
+end

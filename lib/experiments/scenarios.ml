@@ -1,0 +1,15 @@
+let all : (module Scenario.Cli) list =
+  [
+    (module Table1);
+    (module Fig5);
+    (module Fig6);
+    (module Scionlab_exp);
+    (module Convergence);
+    (module Latency_exp);
+    (module Tuning);
+  ]
+
+let names = List.map (fun (module S : Scenario.Cli) -> S.name) all
+
+let find name =
+  List.find_opt (fun (module S : Scenario.Cli) -> S.name = name) all

@@ -1,0 +1,16 @@
+(** Registry of every experiment packaged behind {!Scenario.Cli}.
+
+    The generic driver ([scion_expt run SCENARIO]) and the [all]
+    subcommand iterate this list instead of naming the experiment
+    modules; adding an experiment means implementing {!Scenario.Cli}
+    and appending it here. *)
+
+val all : (module Scenario.Cli) list
+(** In presentation order: table1, fig5, fig6, scionlab, convergence,
+    latency, tune. *)
+
+val names : string list
+(** The scenario names, in the same order as {!all}. *)
+
+val find : string -> (module Scenario.Cli) option
+(** Look a scenario up by {!Scenario.Cli.name}. *)

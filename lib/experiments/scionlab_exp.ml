@@ -7,6 +7,17 @@ type result = {
   iface_bps : float array;
 }
 
+type config = { diversity : Beacon_policy.div_params }
+
+let config ?(diversity = Beacon_policy.default_div_params) () = { diversity }
+
+let name = "scionlab"
+
+let doc = "Appendix B: SCIONLab testbed evaluation (Figures 7-9)"
+
+(* The SCIONLab topology is fixed; scale and seed do not apply. *)
+let config_of_cli (_ : Scenario.cli) = config ()
+
 let all_pairs g =
   let n = Graph.n g in
   let acc = ref [] in
@@ -28,34 +39,64 @@ let scion_flows g outcome pairs =
       Path_quality.of_pcbs g pcbs ~src:s ~dst:d)
     pairs
 
-let run ?(obs = Obs.disabled) ?(diversity = Beacon_policy.default_div_params) () =
+(* Independent stages: the all-pairs optimum, the baseline(5) run (which
+   also yields the measured path set and the Fig. 9 interface rates) and
+   one diversity run per storage limit. *)
+type stage =
+  | S_optimum of int array
+  | S_baseline of Beaconing.outcome
+  | S_div of algo
+
+let div_limits = [ 5; 10; 15; 60 ]
+
+let run ?(obs = Obs.disabled) ?(jobs = 1) { diversity } =
   let g = Scionlab.generate Scionlab.default_params in
   let pairs = all_pairs g in
-  let optimum = Array.map (fun (s, d) -> Path_quality.optimum g ~src:s ~dst:d) pairs in
   let cfg = Exp_common.beacon_config in
-  let baseline5 =
-    Obs.phase obs "scionlab.beaconing.baseline" (fun () ->
-        Beaconing.run ~obs g { cfg with Beaconing.storage_limit = 5 })
+  let stages =
+    Array.of_list
+      ((fun ~obs ->
+         S_optimum
+           (Obs.phase obs "scionlab.optimum_cuts" (fun () ->
+                Array.map (fun (s, d) -> Path_quality.optimum g ~src:s ~dst:d) pairs)))
+      :: (fun ~obs ->
+           S_baseline
+             (Obs.phase obs "scionlab.beaconing.baseline" (fun () ->
+                  Beaconing.run ~obs g { cfg with Beaconing.storage_limit = 5 })))
+      :: List.map
+           (fun limit ~obs ->
+             S_div
+               (Obs.phase obs "scionlab.beaconing.diversity" (fun () ->
+                    let out =
+                      Beaconing.run ~obs g
+                        {
+                          cfg with
+                          Beaconing.storage_limit = limit;
+                          Beaconing.algorithm = Beacon_policy.Diversity diversity;
+                        }
+                    in
+                    {
+                      name = Printf.sprintf "SCION Diversity (%d)" limit;
+                      flows = scion_flows g out pairs;
+                    })))
+           div_limits)
   in
+  let staged = Runner.map_jobs_obs ~obs ~jobs (fun ~obs stage -> stage ~obs) stages in
+  let optimum =
+    match staged.(0) with S_optimum o -> o | _ -> assert false
+  in
+  let baseline5 =
+    match staged.(1) with S_baseline b -> b | _ -> assert false
+  in
+  let divs =
+    Array.to_list staged
+    |> List.filter_map (function S_div a -> Some a | _ -> None)
+  in
+  let baseline_flows = scion_flows g baseline5 pairs in
   let algos =
-    ({ name = "Measurement"; flows = scion_flows g baseline5 pairs }
-    :: { name = "SCION Baseline (5)"; flows = scion_flows g baseline5 pairs }
-    :: List.map
-         (fun limit ->
-           let out =
-             Obs.phase obs "scionlab.beaconing.diversity" (fun () ->
-                 Beaconing.run ~obs g
-                   {
-                     cfg with
-                     Beaconing.storage_limit = limit;
-                     Beaconing.algorithm = Beacon_policy.Diversity diversity;
-                   })
-           in
-           {
-             name = Printf.sprintf "SCION Diversity (%d)" limit;
-             flows = scion_flows g out pairs;
-           })
-         [ 5; 10; 15; 60 ])
+    { name = "Measurement"; flows = baseline_flows }
+    :: { name = "SCION Baseline (5)"; flows = baseline_flows }
+    :: divs
   in
   let iface_bps =
     Array.map
@@ -68,6 +109,25 @@ let run ?(obs = Obs.disabled) ?(diversity = Beacon_policy.default_div_params) ()
   end;
   { pairs; optimum; algos; iface_bps }
 
+let to_json (r : result) =
+  let ints a = Obs_json.List (List.map (fun v -> Obs_json.Int v) (Array.to_list a)) in
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String name);
+      ("pairs", Obs_json.Int (Array.length r.pairs));
+      ("optimum", ints r.optimum);
+      ( "algos",
+        Obs_json.List
+          (List.map
+             (fun a ->
+               Obs_json.Obj
+                 [ ("name", Obs_json.String a.name); ("flows", ints a.flows) ])
+             r.algos) );
+      ( "iface_bps",
+        Obs_json.List
+          (List.map (fun v -> Obs_json.Float v) (Array.to_list r.iface_bps)) );
+    ]
+
 let cdf_rows values_list caps to_cell =
   List.map
     (fun c ->
@@ -79,7 +139,7 @@ let cdf_rows values_list caps to_cell =
         values_list)
     caps
 
-let print r =
+let print (r : result) =
   Printf.printf "SCIONLab evaluation (Appendix B) — %d core AS pairs\n\n"
     (Array.length r.pairs);
   print_endline

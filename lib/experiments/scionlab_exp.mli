@@ -5,7 +5,12 @@
     with storage limit 5 — Appendix B notes the close match) against
     the baseline and the diversity algorithm at storage limits 5, 10,
     15 and 60, plus the optimum; and report the per-interface beaconing
-    bandwidth distribution. *)
+    bandwidth distribution.
+
+    Implements {!Scenario.Cli}: drive it through
+    [scion_expt run scionlab] or directly via {!config} and {!run}.
+    The SCIONLab topology is fixed, so the CLI scale and seed are
+    ignored. *)
 
 type algo = { name : string; flows : int array }
 
@@ -16,11 +21,28 @@ type result = {
   iface_bps : float array;  (** Fig. 9: Bps per core interface, baseline(5) *)
 }
 
-val run : ?obs:Obs.t -> ?diversity:Beacon_policy.div_params -> unit -> result
-(** With an enabled [obs] (default {!Obs.disabled}) the beaconing runs
-    are instrumented, timed as [scionlab.*] phases, and the Fig. 9
-    per-interface rate distribution is exported as the
+type config = { diversity : Beacon_policy.div_params }
+
+val config : ?diversity:Beacon_policy.div_params -> unit -> config
+
+val name : string
+
+val doc : string
+
+val config_of_cli : Scenario.cli -> config
+
+val run : ?obs:Obs.t -> ?jobs:int -> config -> result
+(** With [jobs > 1] the independent stages — the all-pairs optimum
+    cuts, the baseline(5) run and one diversity run per storage
+    limit — execute on that many domains; the result is identical for
+    every [jobs] value.
+
+    With an enabled [obs] (default {!Obs.disabled}) the beaconing runs
+    are instrumented, the stages timed as [scionlab.*] phases, and the
+    Fig. 9 per-interface rate distribution is exported as the
     [scionlab_iface_bps] histogram. *)
+
+val to_json : result -> Obs_json.t
 
 val print : result -> unit
 (** Figures 7/8 CDFs, the diversity-vs-measurement fractions, and the

@@ -98,19 +98,27 @@ let coreify g =
   done;
   Graph.freeze b
 
-let measure ?(obs = Obs.disabled) scale =
+let measure ?(obs = Obs.disabled) ?(jobs = 1) scale =
   let prepared = Exp_common.prepare scale in
   let cfg = Exp_common.beacon_config in
   (* A shorter horizon suffices to ground the taxonomy. *)
   let cfg = { cfg with Beaconing.duration = cfg.Beaconing.interval *. 8.0 } in
   let g = coreify prepared.Exp_common.isd in
-  let core_out =
-    Obs.phase obs "table1.beaconing.core" (fun () ->
-        Beaconing.run ~obs g { cfg with Beaconing.scope = Beaconing.Core_beaconing })
-  in
-  let intra_out =
-    Obs.phase obs "table1.beaconing.intra_isd" (fun () ->
-        Beaconing.run ~obs g { cfg with Beaconing.scope = Beaconing.Intra_isd })
+  (* The two beaconing hierarchies are independent simulations; they
+     are the parallel rows of this experiment. *)
+  let core_out, intra_out =
+    match
+      Runner.map_jobs_obs ~obs ~jobs
+        (fun ~obs (phase, scope) ->
+          Obs.phase obs phase (fun () ->
+              Beaconing.run ~obs g { cfg with Beaconing.scope = scope }))
+        [|
+          ("table1.beaconing.core", Beaconing.Core_beaconing);
+          ("table1.beaconing.intra_isd", Beaconing.Intra_isd);
+        |]
+    with
+    | [| core_out; intra_out |] -> (core_out, intra_out)
+    | _ -> assert false
   in
   let cs = Control_service.build ~core:core_out ~intra:intra_out () in
   let rng = Rng.create 0xAB1EL in
@@ -189,9 +197,69 @@ let measure ?(obs = Obs.disabled) scale =
     };
   ]
 
-let print ?measured () =
+type config = { scale : Exp_common.scale; measure : bool }
+
+let config ?(measure = true) scale = { scale; measure }
+
+type result = { measured : measured list option }
+
+let name = "table1"
+
+let doc = "Table 1: control-plane overhead taxonomy"
+
+let config_of_cli (c : Scenario.cli) = config c.scale
+
+let run ?obs ?jobs { scale; measure = m } =
+  { measured = (if m then Some (measure ?obs ?jobs scale) else None) }
+
+let to_json (r : result) =
+  let taxonomy =
+    List.map
+      (fun c ->
+        Obs_json.Obj
+          [
+            ("component", Obs_json.String c.name);
+            ( "scope",
+              Obs_json.String
+                (match c.scope with
+                | As_scope -> "as"
+                | Isd_scope -> "isd"
+                | Global_scope -> "global") );
+            ( "frequency",
+              Obs_json.String
+                (match c.frequency with
+                | Hours -> "hours"
+                | Minutes -> "minutes"
+                | Seconds -> "seconds") );
+            ("rationale", Obs_json.String c.rationale);
+          ])
+      components
+  in
+  let measured =
+    match r.measured with
+    | None -> Obs_json.Null
+    | Some rows ->
+        Obs_json.List
+          (List.map
+             (fun m ->
+               Obs_json.Obj
+                 [
+                   ("component", Obs_json.String m.component);
+                   ("messages", Obs_json.Float m.messages);
+                   ("bytes", Obs_json.Float m.bytes);
+                 ])
+             rows)
+  in
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String name);
+      ("taxonomy", Obs_json.List taxonomy);
+      ("measured", measured);
+    ]
+
+let print (r : result) =
   print_string (render ());
-  match measured with
+  match r.measured with
   | None -> ()
   | Some rows ->
       print_newline ();

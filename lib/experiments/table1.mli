@@ -29,11 +29,41 @@ type measured = {
   bytes : float;
 }
 
-val measure : ?obs:Obs.t -> Exp_common.scale -> measured list
+val measure : ?obs:Obs.t -> ?jobs:int -> Exp_common.scale -> measured list
 (** Run a small network end-to-end (core + intra-ISD beaconing, path
     registration, Zipf-weighted lookups with caching, one revocation)
     and report the per-component traffic that grounds the taxonomy.
-    With an enabled [obs] (default {!Obs.disabled}) the beaconing runs
-    are instrumented and timed as [table1.*] phases. *)
+    With [jobs > 1] the two beaconing hierarchies run on separate
+    domains. With an enabled [obs] (default {!Obs.disabled}) the
+    beaconing runs are instrumented and timed as [table1.*] phases. *)
 
-val print : ?measured:measured list -> unit -> unit
+(** {1 The {!Scenario.Cli} face}
+
+    Drive it through [scion_expt run table1] or via {!config} and
+    {!run}. *)
+
+type config = {
+  scale : Exp_common.scale;
+  measure : bool;  (** also run the grounding simulation *)
+}
+
+val config : ?measure:bool -> Exp_common.scale -> config
+(** [measure] defaults to [true] (the generic driver always grounds
+    the taxonomy; the bare rendering needs no simulation). *)
+
+type result = { measured : measured list option }
+
+val name : string
+
+val doc : string
+
+val config_of_cli : Scenario.cli -> config
+
+val run : ?obs:Obs.t -> ?jobs:int -> config -> result
+
+val to_json : result -> Obs_json.t
+(** The taxonomy rows plus the measured traffic (or [null]). *)
+
+val print : result -> unit
+(** The check-mark table, followed by the measured per-component
+    traffic when present. *)

@@ -6,7 +6,7 @@ type objective = {
   score : float;
 }
 
-let evaluate ?(duration_rounds = 24) ?(lifetime_rounds = 12) g params =
+let evaluate ?(obs = Obs.disabled) ?(duration_rounds = 24) ?(lifetime_rounds = 12) g params =
   let cfg =
     {
       Exp_common.beacon_config with
@@ -15,7 +15,7 @@ let evaluate ?(duration_rounds = 24) ?(lifetime_rounds = 12) g params =
       Beaconing.lifetime = 600.0 *. float_of_int lifetime_rounds;
     }
   in
-  let out = Beaconing.run g cfg in
+  let out = Beaconing.run ~obs g cfg in
   let now = cfg.Beaconing.duration -. 1.0 in
   let n = Graph.n g in
   (* Connectivity: every AS should hold a valid path to every origin. *)
@@ -83,10 +83,20 @@ let refine (p : Beacon_policy.div_params) =
         [ p.Beacon_policy.beta *. 0.75; p.Beacon_policy.beta; p.Beacon_policy.beta *. 1.25 ])
     [ p.Beacon_policy.alpha *. 0.5; p.Beacon_policy.alpha; p.Beacon_policy.alpha *. 1.5 ]
 
-let best_of ?(verbose = false) ?duration_rounds ?lifetime_rounds g cands =
-  List.fold_left
-    (fun acc p ->
-      let o = evaluate ?duration_rounds ?lifetime_rounds g p in
+let best_of ?(obs = Obs.disabled) ?(jobs = 1) ?(verbose = false) ?duration_rounds
+    ?lifetime_rounds g cands =
+  (* Candidate evaluations are independent; fan them out, then pick the
+     winner (and print, in candidate order) after the barrier so the
+     choice and the output are identical at any [jobs] value. The
+     earliest candidate wins ties, as in the sequential fold. *)
+  let objectives =
+    Runner.map_jobs_obs ~obs ~jobs
+      (fun ~obs p -> evaluate ~obs ?duration_rounds ?lifetime_rounds g p)
+      (Array.of_list cands)
+  in
+  Array.fold_left
+    (fun acc o ->
+      let p = o.params in
       if verbose then
         Printf.printf
           "  alpha=%-5.1f beta=%-5.2f gamma=%-4.1f thr=%-5.3f -> conn=%.3f cap=%.3f bytes=%.3g score=%.3f\n%!"
@@ -96,18 +106,71 @@ let best_of ?(verbose = false) ?duration_rounds ?lifetime_rounds g cands =
       match acc with
       | Some best when best.score >= o.score -> Some best
       | _ -> Some o)
-    None cands
+    None objectives
 
-let grid_search ?(verbose = false) ?duration_rounds ?lifetime_rounds g =
+let grid_search ?obs ?jobs ?(verbose = false) ?duration_rounds ?lifetime_rounds g =
   if verbose then print_endline "Stage 1: exponentially spaced grid";
   let stage1 =
-    match best_of ~verbose ?duration_rounds ?lifetime_rounds g candidates_stage1 with
+    match
+      best_of ?obs ?jobs ~verbose ?duration_rounds ?lifetime_rounds g candidates_stage1
+    with
     | Some o -> o
     | None -> invalid_arg "Tuning.grid_search: empty candidate set"
   in
   if verbose then print_endline "Stage 2: linear refinement around the winner";
   match
-    best_of ~verbose ?duration_rounds ?lifetime_rounds g (refine stage1.params)
+    best_of ?obs ?jobs ~verbose ?duration_rounds ?lifetime_rounds g
+      (refine stage1.params)
   with
   | Some o when o.score > stage1.score -> o
   | _ -> stage1
+
+type config = { cores : int; verbose : bool }
+
+let config ?(cores = 30) ?(verbose = false) () = { cores; verbose }
+
+let name = "tune"
+
+let doc = "Grid search for diversity parameters (§4.2)"
+
+(* The tuning topology is sized by [cores], not by the CLI scale. *)
+let config_of_cli (_ : Scenario.cli) = config ()
+
+type result = { cores : int; best : objective }
+
+let run ?obs ?jobs { cores; verbose } =
+  let full =
+    Caida_like.generate { Caida_like.small_params with Caida_like.n = cores * 8 }
+  in
+  let core, _ = Caida_like.core_subset full ~k:cores in
+  { cores; best = grid_search ?obs ?jobs ~verbose core }
+
+let to_json (r : result) =
+  let p = r.best.params in
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String name);
+      ("cores", Obs_json.Int r.cores);
+      ( "params",
+        Obs_json.Obj
+          [
+            ("alpha", Obs_json.Float p.Beacon_policy.alpha);
+            ("beta", Obs_json.Float p.Beacon_policy.beta);
+            ("gamma", Obs_json.Float p.Beacon_policy.gamma);
+            ("threshold", Obs_json.Float p.Beacon_policy.threshold);
+            ("gm_max", Obs_json.Float p.Beacon_policy.gm_max);
+          ] );
+      ("connectivity", Obs_json.Float r.best.connectivity);
+      ("capacity_fraction", Obs_json.Float r.best.capacity_fraction);
+      ("overhead_bytes", Obs_json.Float r.best.overhead_bytes);
+      ("score", Obs_json.Float r.best.score);
+    ]
+
+let print (r : result) =
+  let p = r.best.params in
+  Printf.printf
+    "Best parameters: alpha=%.1f beta=%.2f gamma=%.1f threshold=%.3f gm_max=%.1f\n"
+    p.Beacon_policy.alpha p.Beacon_policy.beta p.Beacon_policy.gamma
+    p.Beacon_policy.threshold p.Beacon_policy.gm_max;
+  Printf.printf "connectivity=%.3f capacity=%.3f overhead=%.3g bytes score=%.3f\n"
+    r.best.connectivity r.best.capacity_fraction r.best.overhead_bytes r.best.score

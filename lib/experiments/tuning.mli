@@ -4,7 +4,10 @@
     first performing a grid search with exponentially spaced values…
     followed by a grid search with linearly spaced values". The
     objective encodes §4.2's three goals: preserve connectivity,
-    discover diverse paths, save bandwidth. *)
+    discover diverse paths, save bandwidth.
+
+    Implements {!Scenario.Cli}: drive it through [scion_expt run tune]
+    or directly via {!config} and {!run}. *)
 
 type objective = {
   params : Beacon_policy.div_params;
@@ -15,11 +18,50 @@ type objective = {
 }
 
 val evaluate :
-  ?duration_rounds:int -> ?lifetime_rounds:int -> Graph.t -> Beacon_policy.div_params -> objective
+  ?obs:Obs.t ->
+  ?duration_rounds:int ->
+  ?lifetime_rounds:int ->
+  Graph.t ->
+  Beacon_policy.div_params ->
+  objective
 (** Run diversity beaconing with a deliberately short PCB lifetime so
     refresh behaviour is exercised, then score the outcome. *)
 
 val grid_search :
-  ?verbose:bool -> ?duration_rounds:int -> ?lifetime_rounds:int -> Graph.t -> objective
+  ?obs:Obs.t ->
+  ?jobs:int ->
+  ?verbose:bool ->
+  ?duration_rounds:int ->
+  ?lifetime_rounds:int ->
+  Graph.t ->
+  objective
 (** Exponential stage over (α, β, γ, threshold), then a linear
-    refinement around the winner. Deterministic. *)
+    refinement around the winner. With [jobs > 1] each stage evaluates
+    its candidates on that many domains; the winner, the tie-breaking
+    (earliest candidate) and the [verbose] output are identical at any
+    [jobs] value. Deterministic. *)
+
+(** {1 The {!Scenario.Cli} face}
+
+    The tuning topology is a Caida-like graph sized by [cores]; the
+    CLI scale and seed do not apply. *)
+
+type config = { cores : int; verbose : bool }
+
+val config : ?cores:int -> ?verbose:bool -> unit -> config
+(** [cores] defaults to 30, [verbose] to [false]. *)
+
+val name : string
+
+val doc : string
+
+val config_of_cli : Scenario.cli -> config
+
+type result = { cores : int; best : objective }
+
+val run : ?obs:Obs.t -> ?jobs:int -> config -> result
+
+val to_json : result -> Obs_json.t
+
+val print : result -> unit
+(** The winning parameters and their objective, as two summary lines. *)

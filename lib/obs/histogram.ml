@@ -25,6 +25,8 @@ let create ?(growth = default_growth) () =
     buckets = Hashtbl.create 32;
   }
 
+let growth t = t.growth
+
 let bucket_of t v = int_of_float (Float.floor (log v /. t.log_growth))
 
 let lower_bound t i = t.growth ** float_of_int i

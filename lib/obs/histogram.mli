@@ -20,6 +20,9 @@ val create : ?growth:float -> unit -> t
 (** Empty histogram. [growth] is the bucket-boundary ratio; it must be
     a finite float > 1 or [Invalid_argument] is raised. *)
 
+val growth : t -> float
+(** The bucket-boundary ratio the histogram was created with. *)
+
 val observe : t -> float -> unit
 (** Record one observation. Raises [Invalid_argument] on [nan]. *)
 

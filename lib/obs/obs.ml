@@ -26,6 +26,14 @@ let timers t = t.timers
 
 let phase t name f = if t.enabled then Timer.time t.timers name f else f ()
 
+let fork t = if t.enabled then create () else disabled
+
+let merge ~into src =
+  if into.enabled && src.enabled then begin
+    Registry.merge ~into:into.registry src.registry;
+    Timer.merge ~into:into.timers src.timers
+  end
+
 let to_json t =
   Obs_json.Obj
     [

@@ -33,6 +33,20 @@ val phase : t -> string -> (unit -> 'a) -> 'a
 (** [phase t name f] times [f] under [name] when the context is
     enabled; otherwise just runs [f]. *)
 
+val fork : t -> t
+(** An isolated child context for one parallel job: enabled exactly
+    when [t] is, with a fresh registry and fresh timers. The child does
+    {e not} share the parent's trace ring (its trace is {!Trace.null}),
+    since the ring is not safe for concurrent writers; metrics and
+    phase timers recorded in the child are brought back with {!merge}.
+    Forking {!disabled} returns {!disabled}. *)
+
+val merge : into:t -> t -> unit
+(** Fold a {!fork}ed child back into its parent after the child's job
+    completed: {!Registry.merge} on the metrics, {!Timer.merge} on the
+    phase timers. No-op when either side is disabled. Call from one
+    domain at a time (the parallel engine merges after its barrier). *)
+
 val to_json : t -> Obs_json.t
 (** [{metrics; timers; trace}] — the [--metrics-out] document. *)
 

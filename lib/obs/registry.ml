@@ -192,4 +192,19 @@ let to_csv t =
     (snapshot t);
   Buffer.contents buf
 
+let merge ~into src =
+  Hashtbl.iter
+    (fun (name, labels) m ->
+      match m with
+      | M_counter r ->
+          let r' = counter into ~labels name in
+          r' := !r' +. !r
+      | M_gauge r ->
+          let r' = gauge into ~labels name in
+          r' := !r
+      | M_hist h ->
+          let h' = histogram ~growth:(Histogram.growth h) into ~labels name in
+          Histogram.merge ~into:h' h)
+    src.tbl
+
 let reset t = Hashtbl.reset t.tbl

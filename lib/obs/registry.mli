@@ -77,5 +77,19 @@ val to_csv : t -> string
 val labels_to_string : labels -> string
 (** [k1=v1;k2=v2] rendering used in CSV and trace output. *)
 
+val merge : into:t -> t -> unit
+(** Accumulate every series of the source registry into [into],
+    creating missing series as needed: counters are summed, histograms
+    are bucket-merged (see {!Histogram.merge}) and gauges take the
+    source value (last merge wins). The source is left unchanged.
+    Raises [Invalid_argument] if a series exists in both registries
+    with different metric kinds.
+
+    This is the reduction step of parallel experiment execution: each
+    job records into a private registry and the per-job registries are
+    merged after the barrier, giving the same totals as a sequential
+    run. Merging counters and histograms is commutative, so the final
+    state does not depend on merge order (gauges excepted). *)
+
 val reset : t -> unit
 (** Drop every series. *)

@@ -40,4 +40,12 @@ let to_json t =
          ))
        (report t))
 
+let merge ~into src =
+  Hashtbl.iter
+    (fun name e ->
+      let e' = entry into name in
+      e'.total <- e'.total +. e.total;
+      e'.count <- e'.count + e.count)
+    src.tbl
+
 let reset t = Hashtbl.reset t.tbl

@@ -27,4 +27,10 @@ val report : t -> (string * float * int) list
 val to_json : t -> Obs_json.t
 (** Object keyed by timer name with [{seconds; count}] values. *)
 
+val merge : into:t -> t -> unit
+(** Accumulate the source's totals and counts into [into] (per name);
+    the source is left unchanged. Totals merged from concurrently
+    running phases report aggregate busy time, which can exceed
+    wall-clock time. *)
+
 val reset : t -> unit

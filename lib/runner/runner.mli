@@ -1,0 +1,112 @@
+(** Deterministic parallel experiment engine.
+
+    A fixed-size pool of OCaml 5 domains executes independent jobs —
+    beaconing runs, per-trial failure simulations, grid-search
+    candidates — while keeping every observable result identical to the
+    sequential execution:
+
+    - {!map_jobs} preserves input order: result [i] always comes from
+      input [i], no matter which domain computed it or in which order
+      jobs finished.
+    - [jobs:1] (the default everywhere) bypasses the pool entirely and
+      runs on the calling domain, so sequential behaviour is not merely
+      equivalent but literally the same code path.
+    - Failures carry their job context: the first failing job (by input
+      index, not completion order) is re-raised as {!Job_failed} after
+      the barrier, so which error surfaces does not depend on domain
+      scheduling.
+    - {!job_seed} derives statistically independent per-job RNG seeds
+      from a base seed and the job index, so stochastic jobs partition
+      their randomness deterministically instead of sharing a stream.
+    - {!map_jobs_obs} forks one {!Obs.t} child context per job and
+      merges the children back into the parent registry after the
+      barrier (in input order), so metrics aggregate race-free and
+      counter totals match the sequential run.
+
+    The pool uses only the stdlib ([Domain], [Mutex], [Condition],
+    [Queue]); there is no dependency on domainslib. Blocked {!await}
+    calls help execute queued jobs instead of idling, which makes
+    nested submissions (a job that itself submits and awaits sub-jobs)
+    deadlock-free even on a pool with a single worker. *)
+
+exception
+  Job_failed of {
+    index : int;  (** input position of the failing job *)
+    label : string;  (** job label given at submission *)
+    backtrace : string;  (** backtrace captured on the worker domain *)
+    exn : exn;  (** the original exception *)
+  }
+(** Raised by {!map_jobs} (and friends) when a job fails. The original
+    exception and its worker-side backtrace are preserved. *)
+
+type t
+(** A pool of worker domains sharing one FIFO job queue. *)
+
+type 'a future
+(** Handle to a submitted job's eventual result. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible [--jobs] value
+    for "use the whole machine". *)
+
+val create : domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] worker domains (clamped to
+    [0 .. 126] so the stdlib's domain limit cannot be exceeded; [0] is
+    legal and means all work happens in helping {!await} calls). *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop the workers and join their domains.
+    Idempotent. Submitting to a shut-down pool raises
+    [Invalid_argument]. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] over a fresh pool and always shuts
+    it down, also on exception. *)
+
+val submit : t -> ?label:string -> (unit -> 'a) -> 'a future
+(** Enqueue a job. The result (or exception) is captured on whichever
+    domain runs it and delivered at {!await}. *)
+
+val await : 'a future -> 'a
+(** Block until the job finished; while its result is pending, execute
+    other queued jobs on the calling domain (this is what makes nested
+    submit/await safe). Re-raises the job's exception (with its
+    original backtrace) if it failed. *)
+
+val map_jobs : ?pool:t -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_jobs ~jobs f arr] applies [f] to every element, running up to
+    [jobs] applications concurrently, and returns the results in input
+    order. With [jobs <= 1] (or fewer than two elements) this is
+    exactly [Array.map f arr] on the calling domain. With [pool] the
+    jobs run on the given pool (whose worker count then bounds the
+    parallelism); otherwise a transient pool of [jobs - 1] workers is
+    created — the caller participates as the [jobs]-th worker through
+    helping {!await}s — and shut down before returning.
+
+    If any job raises, the remaining jobs still run to completion (the
+    barrier is unconditional), and then the failure with the {e
+    smallest input index} is re-raised as {!Job_failed}. *)
+
+val job_seed : int64 -> int -> int64
+(** [job_seed base i] is a SplitMix64-derived seed for job [i]:
+    deterministic in [(base, i)] and statistically independent across
+    indices. Feed it to {!Rng.create} so each parallel job owns its own
+    stream. *)
+
+val map_jobs_obs :
+  ?obs:Obs.t ->
+  ?pool:t ->
+  jobs:int ->
+  (obs:Obs.t -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** {!map_jobs} for instrumented jobs. With [jobs <= 1] every job
+    receives the parent [obs] unchanged (the exact sequential
+    behaviour). With [jobs > 1] each job receives {!Obs.fork}[ obs] —
+    an isolated child context — and after the barrier the children are
+    merged back into the parent with {!Obs.merge}, in input order, so
+    counters, histograms and phase timers aggregate exactly as in the
+    sequential run (gauges keep the last-indexed job's value). The
+    children are merged even when a job failed, before {!Job_failed}
+    propagates. On a disabled [obs] (the default) instrumentation stays
+    zero-cost. *)

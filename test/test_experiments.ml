@@ -81,7 +81,7 @@ let test_table1_against_paper () =
     (dl.Table1.scope = Table1.Global_scope && dl.Table1.frequency = Table1.Hours)
 
 let test_scionlab_experiment () =
-  let r = Scionlab_exp.run () in
+  let r = Scionlab_exp.run (Scionlab_exp.config ()) in
   check Alcotest.int "210 pairs" 210 (Array.length r.Scionlab_exp.pairs);
   check Alcotest.int "six algos" 6 (List.length r.Scionlab_exp.algos);
   (* Flows bounded by optimum; measurement equals baseline(5). *)
@@ -136,6 +136,27 @@ let test_table1_measure () =
   Alcotest.(check bool) "lookups happened" true
     ((get "Endpoint Path Lookup").Table1.messages > 0.0)
 
+let test_scenarios_registry () =
+  check Alcotest.int "seven scenarios" 7 (List.length Scenarios.all);
+  check Alcotest.int "distinct names" 7
+    (List.length (List.sort_uniq compare Scenarios.names));
+  List.iter
+    (fun n ->
+      match Scenarios.find n with
+      | Some (module S : Scenario.Cli) -> check Alcotest.string "lookup name" n S.name
+      | None -> Alcotest.fail (Printf.sprintf "scenario %s not found" n))
+    Scenarios.names;
+  (match Scenarios.find "bogus" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "bogus should not resolve");
+  (* The generic driver's contract: every registered scenario accepts
+     the shared CLI record and documents itself. *)
+  List.iter
+    (fun (module S : Scenario.Cli) ->
+      ignore (S.config_of_cli { Scenario.scale = Exp_common.Tiny; seed = None });
+      Alcotest.(check bool) (S.name ^ " has doc") true (String.length S.doc > 0))
+    Scenarios.all
+
 let suite =
   [
     ("scales", `Quick, test_scales);
@@ -147,4 +168,5 @@ let suite =
     ("scionlab experiment", `Slow, test_scionlab_experiment);
     ("tuning evaluate", `Quick, test_tuning_evaluate);
     ("table1 measure", `Slow, test_table1_measure);
+    ("scenario registry", `Quick, test_scenarios_registry);
   ]

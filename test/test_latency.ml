@@ -132,7 +132,7 @@ let test_latency_aware_beaconing_prefers_fast_paths () =
 
 let test_latency_experiment_smoke () =
   let beacon = { Exp_common.beacon_config with Beaconing.duration = 600.0 *. 6.0 } in
-  let r = Latency_exp.run ~beacon Exp_common.Tiny in
+  let r = Latency_exp.run (Latency_exp.config ~beacon Exp_common.Tiny) in
   check Alcotest.int "three algorithms" 3 (List.length r.Latency_exp.algos);
   List.iter
     (fun a ->
@@ -150,7 +150,7 @@ let test_latency_experiment_smoke () =
 (* --- Convergence experiment --- *)
 
 let test_convergence_experiment () =
-  let r = Convergence.run ~n_failures:2 Exp_common.Tiny in
+  let r = Convergence.run (Convergence.config ~n_failures:2 Exp_common.Tiny) in
   Alcotest.(check bool) "initial convergence happened" true
     (r.Convergence.initial_convergence_s > 0.0);
   Alcotest.(check bool) "initial updates flowed" true (r.Convergence.initial_updates > 0);

@@ -7,6 +7,7 @@ let () =
       ("topology", Test_topology.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
+      ("runner", Test_runner.suite);
       ("core", Test_core.suite);
       ("bgp", Test_bgp.suite);
       ("bgp-sim", Test_bgp_sim.suite);

@@ -1,0 +1,263 @@
+(* Tests for scion_runner: the domain pool, order preservation,
+   exception propagation, seed partitioning, the Obs fork/merge
+   reduction, and jobs-independence of whole experiments. *)
+
+let check = Alcotest.check
+
+(* --- map_jobs ------------------------------------------------------ *)
+
+let test_map_jobs_order () =
+  let input = Array.init 100 (fun i -> i) in
+  let expect = Array.map (fun i -> i * i) input in
+  List.iter
+    (fun jobs ->
+      check
+        (Alcotest.array Alcotest.int)
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Runner.map_jobs ~jobs (fun i -> i * i) input))
+    [ 1; 2; 4; 9 ]
+
+let test_map_jobs_small_inputs () =
+  check (Alcotest.array Alcotest.int) "empty" [||]
+    (Runner.map_jobs ~jobs:4 (fun i -> i) [||]);
+  check (Alcotest.array Alcotest.int) "singleton" [| 7 |]
+    (Runner.map_jobs ~jobs:4 (fun i -> i + 4) [| 3 |])
+
+let test_map_jobs_on_shared_pool () =
+  Runner.with_pool ~domains:2 (fun pool ->
+      let a = Runner.map_jobs ~pool ~jobs:4 (fun i -> i + 1) (Array.init 10 (fun i -> i)) in
+      let b = Runner.map_jobs ~pool ~jobs:4 (fun i -> i * 2) (Array.init 10 (fun i -> i)) in
+      check (Alcotest.array Alcotest.int) "first" (Array.init 10 (fun i -> i + 1)) a;
+      check (Alcotest.array Alcotest.int) "second" (Array.init 10 (fun i -> i * 2)) b)
+
+let test_exception_propagation () =
+  (* Two jobs fail; the one with the smallest input index wins, no
+     matter which finishes first. *)
+  match
+    Runner.map_jobs ~jobs:3
+      (fun i -> if i >= 3 then failwith (Printf.sprintf "boom%d" i) else i)
+      (Array.init 6 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Runner.Job_failed { index; exn = Failure msg; _ } ->
+      check Alcotest.int "smallest failing index" 3 index;
+      check Alcotest.string "original exception" "boom3" msg
+  | exception e -> raise e
+
+let test_pool_reusable_after_failure () =
+  Runner.with_pool ~domains:2 (fun pool ->
+      (match
+         Runner.map_jobs ~pool ~jobs:4 (fun i -> if i = 1 then failwith "x" else i)
+           (Array.init 4 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "expected Job_failed"
+      | exception Runner.Job_failed _ -> ());
+      check (Alcotest.array Alcotest.int) "pool still works"
+        (Array.init 4 (fun i -> i))
+        (Runner.map_jobs ~pool ~jobs:4 (fun i -> i) (Array.init 4 (fun i -> i))))
+
+(* --- submit / await / nesting -------------------------------------- *)
+
+let test_submit_await () =
+  Runner.with_pool ~domains:2 (fun pool ->
+      let futs = List.init 16 (fun i -> Runner.submit pool (fun () -> i * 3)) in
+      List.iteri (fun i f -> check Alcotest.int "future value" (i * 3) (Runner.await f)) futs)
+
+let test_await_reraises () =
+  Runner.with_pool ~domains:1 (fun pool ->
+      let f = Runner.submit pool (fun () -> failwith "direct") in
+      match Runner.await f with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> check Alcotest.string "original message" "direct" msg)
+
+let nested_sum pool =
+  let outer =
+    Runner.submit pool (fun () ->
+        let subs = List.init 4 (fun i -> Runner.submit pool (fun () -> i * 10)) in
+        List.fold_left (fun acc f -> acc + Runner.await f) 0 subs)
+  in
+  Runner.await outer
+
+let test_nested_submit () =
+  (* Help-first await makes nesting safe even when every worker is
+     occupied by the outer job (domains:1), and even with no workers at
+     all (domains:0 — the awaiting caller runs everything). *)
+  Runner.with_pool ~domains:1 (fun pool ->
+      check Alcotest.int "one worker" 60 (nested_sum pool));
+  Runner.with_pool ~domains:0 (fun pool ->
+      check Alcotest.int "zero workers" 60 (nested_sum pool))
+
+let test_shutdown_rejects_submit () =
+  let pool = Runner.create ~domains:1 () in
+  Runner.shutdown pool;
+  Runner.shutdown pool;
+  (* idempotent *)
+  match Runner.submit pool (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- seed partitioning --------------------------------------------- *)
+
+let test_job_seed () =
+  check Alcotest.int64 "deterministic" (Runner.job_seed 42L 5) (Runner.job_seed 42L 5);
+  let seeds = List.init 16 (Runner.job_seed 42L) in
+  check Alcotest.int "distinct across indices" 16
+    (List.length (List.sort_uniq Int64.compare seeds));
+  Alcotest.(check bool) "distinct across bases" true
+    (Runner.job_seed 1L 0 <> Runner.job_seed 2L 0);
+  (* Streams seeded from adjacent indices diverge immediately. *)
+  let a = Rng.create (Runner.job_seed 7L 0) and b = Rng.create (Runner.job_seed 7L 1) in
+  Alcotest.(check bool) "independent streams" true
+    (List.init 8 (fun _ -> Rng.int a 1000) <> List.init 8 (fun _ -> Rng.int b 1000))
+
+(* --- Registry / Timer / Obs merge ---------------------------------- *)
+
+let test_registry_merge () =
+  let a = Registry.create () and b = Registry.create () in
+  Registry.add a "c" 2.0;
+  Registry.add b "c" 3.0;
+  Registry.add b "c" ~labels:[ ("k", "v") ] 7.0;
+  Registry.set a "g" 1.0;
+  Registry.set b "g" 5.0;
+  Registry.observe a "h" 1.0;
+  Registry.observe b "h" 2.0;
+  Registry.observe b "h" 4.0;
+  Registry.merge ~into:a b;
+  Alcotest.(check (float 1e-12)) "counters sum" 5.0 !(Registry.counter a "c");
+  Alcotest.(check (float 1e-12)) "missing series created" 7.0
+    !(Registry.counter a ~labels:[ ("k", "v") ] "c");
+  Alcotest.(check (float 1e-12)) "gauge takes source" 5.0 !(Registry.gauge a "g");
+  let s = Histogram.summarize (Registry.histogram a "h") in
+  check Alcotest.int "histogram counts merge" 3 s.Histogram.count;
+  Alcotest.(check (float 1e-12)) "histogram max merges" 4.0 s.Histogram.max;
+  (* Kind clash across registries is a programming error. *)
+  let c = Registry.create () in
+  Registry.set c "c" 9.0;
+  match Registry.merge ~into:a c with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_timer_merge () =
+  let a = Timer.create () and b = Timer.create () in
+  Timer.record a "x" 1.0;
+  Timer.record b "x" 2.0;
+  Timer.record b "y" 0.5;
+  Timer.merge ~into:a b;
+  Alcotest.(check (float 1e-12)) "totals sum" 3.0 (Timer.total a "x");
+  Alcotest.(check (float 1e-12)) "missing name created" 0.5 (Timer.total a "y");
+  match List.assoc_opt "x" (List.map (fun (n, _, c) -> (n, c)) (Timer.report a)) with
+  | Some count -> check Alcotest.int "counts sum" 2 count
+  | None -> Alcotest.fail "x missing from report"
+
+let test_obs_fork_merge () =
+  Alcotest.(check bool) "fork of disabled stays disabled" false
+    (Obs.on (Obs.fork Obs.disabled));
+  let parent = Obs.create () in
+  let child = Obs.fork parent in
+  Alcotest.(check bool) "fork of enabled is enabled" true (Obs.on child);
+  Registry.add (Obs.registry parent) "m" 1.0;
+  Registry.add (Obs.registry child) "m" 2.0;
+  Obs.phase child "p" (fun () -> ());
+  Obs.merge ~into:parent child;
+  Alcotest.(check (float 1e-12)) "counter merged" 3.0
+    !(Registry.counter (Obs.registry parent) "m");
+  Alcotest.(check bool) "phase timer merged" true
+    (List.exists (fun (n, _, _) -> n = "p") (Timer.report (Obs.timers parent)))
+
+let test_map_jobs_obs_totals () =
+  let totals jobs =
+    let obs = Obs.create () in
+    let out =
+      Runner.map_jobs_obs ~obs ~jobs
+        (fun ~obs i ->
+          if Obs.on obs then begin
+            Registry.add (Obs.registry obs) "runner_test_total" 1.0;
+            Registry.observe (Obs.registry obs) "runner_test_value" (float_of_int i)
+          end;
+          i)
+        (Array.init 8 (fun i -> i))
+    in
+    check (Alcotest.array Alcotest.int) "results in order" (Array.init 8 (fun i -> i)) out;
+    ( !(Registry.counter (Obs.registry obs) "runner_test_total"),
+      (Histogram.summarize (Registry.histogram (Obs.registry obs) "runner_test_value"))
+        .Histogram.count )
+  in
+  let c1, n1 = totals 1 and c4, n4 = totals 4 in
+  Alcotest.(check (float 0.0)) "counter total matches sequential" c1 c4;
+  Alcotest.(check (float 0.0)) "every job counted" 8.0 c4;
+  check Alcotest.int "histogram count matches sequential" n1 n4
+
+(* --- whole experiments are jobs-independent ------------------------ *)
+
+let short_beacon =
+  { Exp_common.beacon_config with Beaconing.duration = 600.0 *. 4.0 }
+
+let fig6_cfg =
+  lazy (Fig6.config ~beacon:short_beacon ~storage_limits:[ Some 15 ] Exp_common.Tiny)
+
+let test_fig6_determinism () =
+  let cfg = Lazy.force fig6_cfg in
+  let r1 = Fig6.run ~jobs:1 cfg in
+  let r4 = Fig6.run ~jobs:4 cfg in
+  check (Alcotest.array Alcotest.int) "optimum" r1.Fig6.optimum r4.Fig6.optimum;
+  check Alcotest.int "same algos" (List.length r1.Fig6.algos) (List.length r4.Fig6.algos);
+  List.iter2
+    (fun (a : Fig6.algo) (b : Fig6.algo) ->
+      check Alcotest.string "algo name" a.Fig6.name b.Fig6.name;
+      check (Alcotest.array Alcotest.int) a.Fig6.name a.Fig6.flows b.Fig6.flows)
+    r1.Fig6.algos r4.Fig6.algos
+
+let test_fig6_merged_registry () =
+  (* Counter totals after the fork/merge reduction match the sequential
+     run (same observations, only the summation grouping differs). *)
+  let counters jobs =
+    let obs = Obs.create () in
+    ignore (Fig6.run ~obs ~jobs (Lazy.force fig6_cfg));
+    List.filter_map
+      (fun (s : Registry.sample) ->
+        match s.Registry.value with
+        | Registry.Counter v -> Some (s.Registry.name, s.Registry.labels, v)
+        | Registry.Gauge _ | Registry.Hist _ -> None)
+      (Registry.snapshot (Obs.registry obs))
+  in
+  let c1 = counters 1 and c4 = counters 4 in
+  check Alcotest.int "same counter series" (List.length c1) (List.length c4);
+  Alcotest.(check bool) "some counters recorded" true (c1 <> []);
+  List.iter2
+    (fun (n1, l1, v1) (n2, l2, v2) ->
+      check Alcotest.string "series name" n1 n2;
+      Alcotest.(check bool) "series labels" true (l1 = l2);
+      Alcotest.(check bool)
+        (Printf.sprintf "total of %s" n1)
+        true
+        (Float.abs (v1 -. v2) <= 1e-9 *. Float.max 1.0 (Float.abs v1)))
+    c1 c4
+
+let test_convergence_determinism () =
+  let cfg = Convergence.config ~n_failures:2 Exp_common.Tiny in
+  let r1 = Convergence.run ~jobs:1 cfg in
+  let r3 = Convergence.run ~jobs:3 cfg in
+  Alcotest.(check bool) "identical trial stats" true (r1 = r3);
+  check Alcotest.int "requested failures" 2 (List.length r1.Convergence.samples)
+
+let suite =
+  [
+    ("map_jobs order", `Quick, test_map_jobs_order);
+    ("map_jobs small inputs", `Quick, test_map_jobs_small_inputs);
+    ("map_jobs on shared pool", `Quick, test_map_jobs_on_shared_pool);
+    ("exception propagation", `Quick, test_exception_propagation);
+    ("pool reusable after failure", `Quick, test_pool_reusable_after_failure);
+    ("submit/await", `Quick, test_submit_await);
+    ("await re-raises", `Quick, test_await_reraises);
+    ("nested submit", `Quick, test_nested_submit);
+    ("shutdown rejects submit", `Quick, test_shutdown_rejects_submit);
+    ("job seeds", `Quick, test_job_seed);
+    ("registry merge", `Quick, test_registry_merge);
+    ("timer merge", `Quick, test_timer_merge);
+    ("obs fork/merge", `Quick, test_obs_fork_merge);
+    ("map_jobs_obs totals", `Quick, test_map_jobs_obs_totals);
+    ("fig6 jobs-independent", `Slow, test_fig6_determinism);
+    ("fig6 merged registry", `Slow, test_fig6_merged_registry);
+    ("convergence jobs-independent", `Slow, test_convergence_determinism);
+  ]
