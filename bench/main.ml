@@ -139,6 +139,28 @@ let tests =
     Test.make ~name:"fig7-9/scionlab-baseline-12rounds"
       (Staged.stage (fun () ->
            beaconing_run (Lazy.force scionlab) Beacon_policy.Baseline 12));
+    (* Resilience kernels: compiling a day of stochastic faults for the
+       small core, and the beacon-store purge scan a revocation triggers. *)
+    Test.make ~name:"faults/plan-compile-day"
+      (Staged.stage
+         (let plan =
+            Fault_plan.plan ~seed:42L
+              [
+                Fault_plan.Stochastic
+                  { mtbf = 7200.0; mttr = 900.0; start = 0.0; until = 86400.0 };
+              ]
+          in
+          fun () -> Fault_plan.compile ~graph:(Lazy.force small_core) plan));
+    Test.make ~name:"faults/store-drop-link-scan"
+      (Staged.stage
+         (let s = Beacon_store.create ~limit:128 in
+          let p = Pcb.origin_pcb ~origin:0 ~now:0.0 ~lifetime:21600.0 in
+          for i = 1 to 100 do
+            ignore
+              (Beacon_store.insert s ~now:0.0
+                 (Pcb.extend p ~asn:0 ~ingress:0 ~egress:1 ~link:i ~peers:[||]))
+          done;
+          fun () -> Beacon_store.drop_link s ~link:0));
     (* Ablations: the design choices called out in DESIGN.md. *)
     Test.make ~name:"ablation/diversity-arith-mean-3rounds"
       (Staged.stage (fun () ->

@@ -90,8 +90,8 @@ let () =
         let i, lane = List.nth usable (chunk mod List.length usable) in
         match Forwarding.forward net ~now (Forwarding.packet lane ~payload_bytes:65536 ()) with
         | Forwarding.Delivered _ -> delivered.(i) <- delivered.(i) + 1
-        | Forwarding.Dropped { scmp = Some { Scmp.kind = Scmp.Link_failure { link }; _ }; _ }
-          ->
+        | Forwarding.Dropped
+            { scmp = Some { Scmp.kind = Scmp.Link_failure { link; _ }; _ }; _ } ->
             (* SCMP: stop using paths over that link, resend the chunk
                on the next lane. *)
             excluded := link :: !excluded;

@@ -109,6 +109,25 @@ let prune_expired t ~now =
       List.iter (Hashtbl.remove s.by_key) stale)
     t.origins
 
+let drop_link t ~link =
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun _ s ->
+      let doomed =
+        Hashtbl.fold
+          (fun key (p : Pcb.t) acc ->
+            if Array.exists (fun l -> l = link) p.Pcb.links then key :: acc
+            else acc)
+          s.by_key []
+      in
+      List.iter
+        (fun key ->
+          Hashtbl.remove s.by_key key;
+          incr dropped)
+        doomed)
+    t.origins;
+  !dropped
+
 let all_paths t ~now =
   Hashtbl.fold
     (fun _ s acc ->

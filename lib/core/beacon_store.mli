@@ -37,5 +37,11 @@ val last_modified : t -> origin:int -> float
 
 val prune_expired : t -> now:float -> unit
 
+val drop_link : t -> link:int -> int
+(** Expire every stored PCB whose path traverses [link] (a revocation,
+    §4.1: the beacon server discards paths over a failed link so they
+    are neither used nor re-disseminated). Returns the number of PCBs
+    dropped. *)
+
 val all_paths : t -> now:float -> Pcb.t list
 (** Every valid stored PCB (used by the quality analysis). *)

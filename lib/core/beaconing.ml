@@ -109,7 +109,7 @@ let observe ?(top = 16) obs (outcome : outcome) =
         "beaconing complete"
   end
 
-let run ?(obs = Obs.disabled) ?on_round g cfg =
+let run ?(obs = Obs.disabled) ?link_up ?on_round_start ?on_round g cfg =
   if cfg.interval <= 0.0 then invalid_arg "Beaconing.run: interval must be positive";
   if cfg.dissemination_limit < 1 then
     invalid_arg "Beaconing.run: dissemination limit must be >= 1";
@@ -234,7 +234,12 @@ let run ?(obs = Obs.disabled) ?on_round g cfg =
   in
   let outbox = ref [] in
   let outbox_len = ref 0 in
+  let link_alive =
+    match link_up with None -> fun ~now:_ _ -> true | Some f -> f
+  in
   let send ~now ~sender ~(h : Graph.half_link) pcb =
+    if not (link_alive ~now h.Graph.via) then ()
+    else begin
     let ingress =
       match Pcb.last_link pcb with
       | None -> 0
@@ -271,6 +276,7 @@ let run ?(obs = Obs.disabled) ?on_round g cfg =
               ("bytes", Printf.sprintf "%.0f" size);
             ]
           "pcb propagated"
+    end
     end
   in
 
@@ -528,6 +534,9 @@ let run ?(obs = Obs.disabled) ?on_round g cfg =
 
   for r = 0 to rounds - 1 do
     let now = float_of_int r *. cfg.interval in
+    (match on_round_start with
+    | None -> ()
+    | Some f -> f ~round:r ~now ~stores);
     if r > 0 && r mod 6 = 0 then begin
       Array.iter (fun s -> Beacon_store.prune_expired s ~now) stores;
       Array.iter (fun st -> Diversity_state.prune st ~now) div_states

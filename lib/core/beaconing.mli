@@ -61,11 +61,23 @@ type outcome = {
 
 val run :
   ?obs:Obs.t ->
+  ?link_up:(now:float -> int -> bool) ->
+  ?on_round_start:(round:int -> now:float -> stores:Beacon_store.t array -> unit) ->
   ?on_round:(round:int -> now:float -> unit) ->
   Graph.t ->
   config ->
   outcome
 (** Simulate [duration / interval] beaconing intervals.
+
+    [link_up ~now l] (default: always [true]) gates dissemination on
+    link liveness: a PCB selected for propagation over a dead link is
+    silently discarded — no bytes are accounted and nothing is
+    delivered — modelling a border router whose interface is down
+    (fault injection, {!Faults}). [on_round_start] fires at the start
+    of every interval, before pruning and selection, with the live
+    store array; fault drivers use it to advance an external event
+    clock and expire revoked PCBs in lock-step with beaconing.
+    [on_round] fires after the interval's messages are delivered.
 
     With an enabled [obs] context (default {!Obs.disabled}, which costs
     one branch per send) the run maintains

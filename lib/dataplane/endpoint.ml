@@ -48,8 +48,8 @@ let send t ?(payload_bytes = 1000) ~now () =
     | Some path -> (
         let pkt = Forwarding.packet path ~payload_bytes () in
         match Forwarding.forward t.net ~now pkt with
-        | Forwarding.Dropped { scmp = Some { Scmp.kind = Scmp.Link_failure { link }; _ }; _ }
-          ->
+        | Forwarding.Dropped
+            { scmp = Some { Scmp.kind = Scmp.Link_failure { link; _ }; _ }; _ } ->
             (* Fast failover: drop every path using the failed link and
                retry immediately (§4.1). *)
             exclude_link t link;

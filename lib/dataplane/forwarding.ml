@@ -99,7 +99,14 @@ let forward net ~now pkt =
                   scmp =
                     Some
                       {
-                        Scmp.kind = Scmp.Link_failure { link = l };
+                        Scmp.kind =
+                          Scmp.Link_failure
+                            {
+                              link = l;
+                              if_a = lk.Graph.a_if;
+                              if_b = lk.Graph.b_if;
+                              expiry = now +. Scmp.default_revocation_ttl;
+                            };
                         origin_as = v;
                         at = now;
                       };

@@ -1,16 +1,32 @@
 type message = { kind : kind; origin_as : int; at : float }
 
 and kind =
-  | Link_failure of { link : int }
+  | Link_failure of { link : int; if_a : Id.iface; if_b : Id.iface; expiry : float }
   | Path_expired
   | Destination_unreachable
 
-let wire_bytes _ = 16 + 64
+let default_revocation_ttl = 600.0
+
+let header_bytes = 16
+
+let quote_bytes = 64
+
+(* Kind-dependent payload on top of header + quote: a link failure
+   names the link (4 B), its interface pair (2 x 2 B) and the
+   revocation expiry (8 B); path-expired quotes the expired hop's
+   timestamp (8 B); destination-unreachable adds nothing. *)
+let payload_bytes = function
+  | Link_failure _ -> 4 + 2 + 2 + 8
+  | Path_expired -> 8
+  | Destination_unreachable -> 0
+
+let wire_bytes m = header_bytes + quote_bytes + payload_bytes m.kind
 
 let pp fmt m =
   let kind_s =
     match m.kind with
-    | Link_failure { link } -> Printf.sprintf "link-failure(%d)" link
+    | Link_failure { link; if_a; if_b; expiry } ->
+        Printf.sprintf "link-failure(%d if %d<->%d until %.0f)" link if_a if_b expiry
     | Path_expired -> "path-expired"
     | Destination_unreachable -> "destination-unreachable"
   in

@@ -2,7 +2,10 @@
 
     A border router observing a failed link notifies affected sources
     with an SCMP message; endpoints immediately switch to an alternate
-    path not containing the failed link. *)
+    path not containing the failed link. A link-failure notification
+    doubles as a path revocation: it names the failed link by its
+    interface pair and carries an expiry after which the revocation
+    lapses and the link may be used again (§4.1, "Path Revocations"). *)
 
 type message = {
   kind : kind;
@@ -11,12 +14,32 @@ type message = {
 }
 
 and kind =
-  | Link_failure of { link : int }
+  | Link_failure of {
+      link : int;  (** failed link id *)
+      if_a : Id.iface;  (** interface on the link's [a] endpoint *)
+      if_b : Id.iface;  (** interface on the link's [b] endpoint *)
+      expiry : float;  (** revocation expiry (absolute time) *)
+    }
   | Path_expired
   | Destination_unreachable
 
+val default_revocation_ttl : float
+(** How long a link-failure revocation stays active before the link may
+    be retried: 600 s (one beaconing interval). *)
+
+val header_bytes : int
+(** Fixed SCMP header (type/code/checksum plus the SCION address
+    header), 16 bytes. *)
+
+val quote_bytes : int
+(** The offending-packet quote every SCMP message carries, 64 bytes. *)
+
 val wire_bytes : message -> int
-(** SCMP messages are small (64-byte quote of the offending packet plus
-    a fixed header). *)
+(** On-the-wire size of the message: the fixed {!header_bytes} and
+    {!quote_bytes} plus a kind-dependent payload — a link-failure
+    notification additionally carries the link id, its interface pair
+    and the revocation expiry; a path-expired notification carries the
+    expired hop's timestamp; destination-unreachable carries nothing
+    beyond the quote. *)
 
 val pp : Format.formatter -> message -> unit

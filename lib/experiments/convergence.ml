@@ -40,23 +40,14 @@ type selected = {
 }
 
 (* Sample distinct adjacencies with enough redundancy that both
-   protocols survive the failure. Consumes only the RNG and the beacon
-   stores, so it is cheap and stays sequential; the expensive BGP churn
-   measurements then fan out over the selected adjacencies. *)
+   protocols survive the failure, via the shared fault-plan sampler
+   (one [Rng.int] per attempt, parallel-link groups fail together).
+   Consumes only the RNG and the beacon stores, so it is cheap and
+   stays sequential; the expensive BGP churn measurements then fan out
+   over the selected adjacencies. *)
 let select_failures ~rng ~core ~scion ~now ~n_failures =
-  let selected = ref [] in
-  let used = Hashtbl.create 8 in
-  let attempts = ref 0 in
-  while List.length !selected < n_failures && !attempts < 500 do
-    incr attempts;
-    let l = Rng.int rng (Graph.num_links core) in
-    if not (Hashtbl.mem used l) then begin
-      let lk = Graph.link core l in
-      let siblings =
-        List.map
-          (fun (x : Graph.link) -> x.Graph.link_id)
-          (Graph.links_between core lk.Graph.a lk.Graph.b)
-      in
+  Fault_plan.sample_adjacencies ~rng ~count:n_failures core
+    ~accept:(fun ~link:lk ~siblings ->
       let on_any p = Array.exists (fun x -> List.mem x siblings) p.Pcb.links in
       let s = lk.Graph.a in
       let victims =
@@ -89,16 +80,15 @@ let select_failures ~rng ~core ~scion ~now ~n_failures =
           (Beacon_store.origins scion.Beaconing.stores.(s))
       in
       match victims with
-      | [] -> ()
+      | [] -> None
       | (_, alternatives, dist) :: _ ->
-          List.iter (fun sl -> Hashtbl.replace used sl ()) siblings;
-          selected :=
-            { sel_link = l; sel_siblings = siblings; sel_alternatives = alternatives;
-              sel_dist = dist }
-            :: !selected
-    end
-  done;
-  List.rev !selected
+          Some
+            {
+              sel_link = lk.Graph.link_id;
+              sel_siblings = siblings;
+              sel_alternatives = alternatives;
+              sel_dist = dist;
+            })
 
 (* Each trial owns a private BGP simulator brought to quiescence from
    scratch, so trials are independent (and parallelisable) instead of

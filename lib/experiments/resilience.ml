@@ -1,0 +1,312 @@
+type rate = { rate_name : string; mtbf_s : float; mttr_s : float }
+
+type algo_kind = A_baseline of int | A_diversity of int
+
+type cell_result = {
+  algo : algo_kind;
+  rate : rate;
+  trials : int;
+  events_down : int;
+  events_up : int;
+  affected_pairs : int;
+  failovers : int;
+  blackouts : int;
+  unrecovered : int;
+  blackout_time_s : float;
+  recovery_samples : float array;
+  revocation_msgs : int;
+  revocation_bytes : float;
+  revoked_segments : int;
+  dropped_pcbs : int;
+  validated_pairs : int;
+  validated_delivered : int;
+  validated_failovers : int;
+}
+
+type result = {
+  scale : Exp_common.scale;
+  pairs : int;
+  cells : cell_result list;
+}
+
+type config = {
+  scale : Exp_common.scale;
+  seed : int64;
+  trials : int;
+  rates : rate list;
+  algos : algo_kind list;
+  outage_at : float;
+  outage_duration : float;
+  beacon : Beaconing.config;
+}
+
+let default_rates =
+  [
+    { rate_name = "low"; mtbf_s = 21600.0; mttr_s = 1800.0 };
+    { rate_name = "high"; mtbf_s = 7200.0; mttr_s = 900.0 };
+  ]
+
+let default_algos = [ A_baseline 5; A_diversity 60 ]
+
+(* Half the §5.1 horizon: 18 rounds are enough for warmup, outage and
+   recovery, and keep the whole sweep CI-sized. *)
+let default_beacon = { Exp_common.beacon_config with Beaconing.duration = 10800.0 }
+
+let config ?(seed = 0xFA17L) ?(trials = 2) ?(rates = default_rates)
+    ?(algos = default_algos) ?(outage_at = 3600.0) ?(outage_duration = 1800.0)
+    ?(beacon = default_beacon) scale =
+  { scale; seed; trials; rates; algos; outage_at; outage_duration; beacon }
+
+let name = "resilience"
+
+let doc = "Failure recovery under injected faults: failover vs blackout"
+
+let config_of_cli (c : Scenario.cli) = config ?seed:c.seed c.scale
+
+let algo_name = function
+  | A_baseline limit -> Printf.sprintf "Baseline (%d)" limit
+  | A_diversity limit -> Printf.sprintf "Diversity (%d)" limit
+
+let beacon_of cfg = function
+  | A_baseline limit ->
+      {
+        cfg.beacon with
+        Beaconing.algorithm = Beacon_policy.Baseline;
+        Beaconing.storage_limit = limit;
+      }
+  | A_diversity limit ->
+      {
+        cfg.beacon with
+        Beaconing.algorithm =
+          Beacon_policy.Diversity Beacon_policy.default_div_params;
+        Beaconing.storage_limit = limit;
+      }
+
+(* One trial of one sweep cell; flattened so trials of every cell fan
+   out together. *)
+type task = { cell_idx : int; trial_idx : int; engine : Fault_engine.config }
+
+let run ?(obs = Obs.disabled) ?(jobs = 1) cfg =
+  let prepared =
+    Obs.phase obs "resilience.prepare" (fun () -> Exp_common.prepare cfg.scale)
+  in
+  let core = prepared.Exp_common.core in
+  let d = Exp_common.dimensions cfg.scale in
+  let pairs =
+    Exp_common.sample_pairs core ~count:d.Exp_common.sample_pairs ~seed:0xFA12L
+  in
+  (* The deterministic outage hits the destination AS of the first
+     monitored pair, so at least one pair is guaranteed to lose every
+     path and sit in blackout until re-beaconing after the repair. *)
+  let outage_as = snd pairs.(0) in
+  let scmp_delay_s = Bgp_sim.default_config.Bgp_sim.propagation_delay in
+  let cells = List.concat_map (fun a -> List.map (fun r -> (a, r)) cfg.rates) cfg.algos in
+  let cells_arr = Array.of_list cells in
+  let tasks =
+    Array.init
+      (Array.length cells_arr * cfg.trials)
+      (fun i ->
+        let cell_idx = i / cfg.trials and trial_idx = i mod cfg.trials in
+        let algo, rate = cells_arr.(cell_idx) in
+        let plan =
+          Fault_plan.plan ~seed:(Runner.job_seed cfg.seed i)
+            [
+              Fault_plan.Stochastic
+                {
+                  mtbf = rate.mtbf_s;
+                  mttr = rate.mttr_s;
+                  start = cfg.beacon.Beaconing.interval;
+                  until = cfg.beacon.Beaconing.duration;
+                };
+              Fault_plan.As_outage
+                {
+                  as_idx = outage_as;
+                  at = cfg.outage_at;
+                  duration = cfg.outage_duration;
+                };
+            ]
+        in
+        {
+          cell_idx;
+          trial_idx;
+          engine =
+            {
+              Fault_engine.graph = core;
+              beacon = beacon_of cfg algo;
+              plan;
+              pairs;
+              scmp_delay_s;
+            };
+        })
+  in
+  let results =
+    Runner.map_jobs_obs ~obs ~jobs
+      (fun ~obs task ->
+        Obs.phase obs "resilience.trial" (fun () -> Fault_engine.run ~obs task.engine))
+      tasks
+  in
+  let cell_results =
+    List.mapi
+      (fun cell_idx (algo, rate) ->
+        let acc =
+          ref
+            {
+              algo;
+              rate;
+              trials = 0;
+              events_down = 0;
+              events_up = 0;
+              affected_pairs = 0;
+              failovers = 0;
+              blackouts = 0;
+              unrecovered = 0;
+              blackout_time_s = 0.0;
+              recovery_samples = [||];
+              revocation_msgs = 0;
+              revocation_bytes = 0.0;
+              revoked_segments = 0;
+              dropped_pcbs = 0;
+              validated_pairs = 0;
+              validated_delivered = 0;
+              validated_failovers = 0;
+            }
+        in
+        Array.iteri
+          (fun i (r : Fault_engine.result) ->
+            if tasks.(i).cell_idx = cell_idx then begin
+              let s = r.Fault_engine.recovery in
+              let c = !acc in
+              acc :=
+                {
+                  c with
+                  trials = c.trials + 1;
+                  events_down = c.events_down + s.Recovery.events_down;
+                  events_up = c.events_up + s.Recovery.events_up;
+                  affected_pairs = c.affected_pairs + s.Recovery.affected_pairs;
+                  failovers = c.failovers + s.Recovery.failovers;
+                  blackouts = c.blackouts + s.Recovery.blackouts;
+                  unrecovered = c.unrecovered + s.Recovery.unrecovered;
+                  blackout_time_s = c.blackout_time_s +. s.Recovery.blackout_time_s;
+                  recovery_samples =
+                    Array.append c.recovery_samples s.Recovery.recovery_samples;
+                  revocation_msgs = c.revocation_msgs + s.Recovery.revocation_msgs;
+                  revocation_bytes =
+                    c.revocation_bytes +. s.Recovery.revocation_bytes;
+                  revoked_segments = c.revoked_segments + s.Recovery.revoked_segments;
+                  dropped_pcbs = c.dropped_pcbs + s.Recovery.dropped_pcbs;
+                  validated_pairs = c.validated_pairs + r.Fault_engine.validated_pairs;
+                  validated_delivered =
+                    c.validated_delivered + r.Fault_engine.validated_delivered;
+                  validated_failovers =
+                    c.validated_failovers + r.Fault_engine.validated_failovers;
+                }
+            end)
+          results;
+        !acc)
+      cells
+  in
+  { scale = cfg.scale; pairs = Array.length pairs; cells = cell_results }
+
+let quantile_opt samples q =
+  if Array.length samples = 0 then None else Some (Stats.quantile samples q)
+
+let to_json (r : result) =
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String name);
+      ("scale", Obs_json.String (Exp_common.scale_to_string r.scale));
+      ("pairs", Obs_json.Int r.pairs);
+      ( "cells",
+        Obs_json.List
+          (List.map
+             (fun c ->
+               let q x =
+                 match quantile_opt c.recovery_samples x with
+                 | None -> Obs_json.Null
+                 | Some v -> Obs_json.Float v
+               in
+               Obs_json.Obj
+                 [
+                   ("algo", Obs_json.String (algo_name c.algo));
+                   ("rate", Obs_json.String c.rate.rate_name);
+                   ("mtbf_s", Obs_json.Float c.rate.mtbf_s);
+                   ("mttr_s", Obs_json.Float c.rate.mttr_s);
+                   ("trials", Obs_json.Int c.trials);
+                   ("events_down", Obs_json.Int c.events_down);
+                   ("events_up", Obs_json.Int c.events_up);
+                   ("affected_pairs", Obs_json.Int c.affected_pairs);
+                   ("failovers", Obs_json.Int c.failovers);
+                   ("blackouts", Obs_json.Int c.blackouts);
+                   ("unrecovered", Obs_json.Int c.unrecovered);
+                   ("blackout_time_s", Obs_json.Float c.blackout_time_s);
+                   ("recoveries", Obs_json.Int (Array.length c.recovery_samples));
+                   ("recovery_p50_s", q 0.5);
+                   ("recovery_p90_s", q 0.9);
+                   ("recovery_p99_s", q 0.99);
+                   ("revocation_msgs", Obs_json.Int c.revocation_msgs);
+                   ("revocation_bytes", Obs_json.Float c.revocation_bytes);
+                   ("revoked_segments", Obs_json.Int c.revoked_segments);
+                   ("dropped_pcbs", Obs_json.Int c.dropped_pcbs);
+                   ("validated_pairs", Obs_json.Int c.validated_pairs);
+                   ("validated_delivered", Obs_json.Int c.validated_delivered);
+                   ("validated_failovers", Obs_json.Int c.validated_failovers);
+                 ])
+             r.cells) );
+    ]
+
+let print (r : result) =
+  Printf.printf
+    "Resilience — failure recovery under injected faults (scale=%s, %d monitored \
+     pairs)\n\n"
+    (Exp_common.scale_to_string r.scale)
+    r.pairs;
+  let fmt_q c x =
+    match quantile_opt c.recovery_samples x with
+    | None -> "-"
+    | Some v -> Printf.sprintf "%.1f s" v
+  in
+  Table.print
+    ~header:
+      [
+        "algorithm";
+        "fail rate";
+        "down/up";
+        "affected";
+        "failovers";
+        "blackouts";
+        "blackout time";
+        "rec p50";
+        "rec p90";
+        "rec p99";
+        "revocation";
+        "delivered";
+      ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [
+             algo_name c.algo;
+             c.rate.rate_name;
+             Printf.sprintf "%d/%d" c.events_down c.events_up;
+             string_of_int c.affected_pairs;
+             string_of_int c.failovers;
+             Printf.sprintf "%d (%d open)" c.blackouts c.unrecovered;
+             Printf.sprintf "%.0f s" c.blackout_time_s;
+             fmt_q c 0.5;
+             fmt_q c 0.9;
+             fmt_q c 0.99;
+             Printf.sprintf "%d msg / %.1f KB" c.revocation_msgs
+               (c.revocation_bytes /. 1024.0);
+             Printf.sprintf "%d/%d" c.validated_delivered c.validated_pairs;
+           ])
+         r.cells);
+  print_newline ();
+  print_endline
+    "Failovers recover in one SCMP round trip (cached alternate segments, §4.1);\n\
+     blackouts last until re-beaconing re-disseminates a path — the storage-limited\n\
+     baseline caches fewer alternates, so more failures escalate to blackouts than\n\
+     under the diversity algorithm at the same fault plan.";
+  print_endline
+    "Revocation overhead counts SCMP link-failure messages to affected endpoints\n\
+     and path servers; 'delivered' is the post-run end-to-end validation pass over\n\
+     the surviving topology."

@@ -5,6 +5,7 @@ let all : (module Scenario.Cli) list =
     (module Fig6);
     (module Scionlab_exp);
     (module Convergence);
+    (module Resilience);
     (module Latency_exp);
     (module Tuning);
   ]

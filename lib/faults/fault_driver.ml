@@ -1,0 +1,15 @@
+let install ~des ~state ~on_down ~on_up events =
+  Array.iter
+    (fun (e : Fault_plan.event) ->
+      let time = Float.max e.Fault_plan.time (Des.now des) in
+      Des.schedule_at des ~time (fun des ->
+          let now = Des.now des in
+          match
+            Link_state.apply state ~now ~link:e.Fault_plan.link
+              ~action:e.Fault_plan.action
+          with
+          | Link_state.Went_down -> on_down ~now ~link:e.Fault_plan.link
+          | Link_state.Went_up -> on_up ~now ~link:e.Fault_plan.link
+          | Link_state.No_change -> ()))
+    events;
+  Array.length events

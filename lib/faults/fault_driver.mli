@@ -1,0 +1,19 @@
+(** Replay a compiled fault plan through the discrete-event engine.
+
+    The driver schedules every compiled event into a {!Des.t}; when an
+    event fires it is folded into a {!Link_state.t} and the [on_down] /
+    [on_up] reactions run {e only on real transitions} (overlapping
+    causes collapse, see {!Link_state}). Events whose time has already
+    passed when the driver is installed fire at the current virtual
+    time, in plan order. *)
+
+val install :
+  des:Des.t ->
+  state:Link_state.t ->
+  on_down:(now:float -> link:int -> unit) ->
+  on_up:(now:float -> link:int -> unit) ->
+  Fault_plan.event array ->
+  int
+(** Schedule all events; returns how many were installed. The caller
+    drives the clock ([Des.run ~until] between beaconing rounds, a
+    final drain afterwards) — the driver never advances it. *)

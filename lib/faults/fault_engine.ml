@@ -1,0 +1,178 @@
+type config = {
+  graph : Graph.t;
+  beacon : Beaconing.config;
+  plan : Fault_plan.t;
+  pairs : (int * int) array;
+  scmp_delay_s : float;
+}
+
+type result = {
+  outcome : Beaconing.outcome;
+  recovery : Recovery.summary;
+  path_server : Path_server.stats;
+  validated_pairs : int;
+  validated_delivered : int;
+  validated_failovers : int;
+}
+
+let on_path link (p : Pcb.t) = Array.exists (fun x -> x = link) p.Pcb.links
+
+(* Position of the failed link on the first affected path: the SCMP
+   notification travels that many hops back to the source (same
+   failure-distance model as the convergence experiment). *)
+let failure_distance link paths =
+  match List.find_opt (on_path link) paths with
+  | None -> 1
+  | Some p ->
+      let pos = ref 0 in
+      Array.iteri (fun i x -> if x = link then pos := i) p.Pcb.links;
+      !pos + 1
+
+let run ?(obs = Obs.disabled) cfg =
+  let g = cfg.graph in
+  let obs_on = Obs.on obs in
+  let tr = Obs.trace obs in
+  let des = Des.create ~obs () in
+  let state = Link_state.create ~n_links:(Graph.num_links g) in
+  let recov = Recovery.create () in
+  let ps = Path_server.create ~obs () in
+  let reg_keys = Fwd_keys.create () in
+  (* The live store array: set by the round hook before any event can
+     fire, refreshed from the outcome for the post-run drain. *)
+  let stores_ref = ref [||] in
+  let on_down ~now ~link =
+    Recovery.record_event recov ~action:Fault_plan.Down;
+    let stores = !stores_ref in
+    let lk = Graph.link g link in
+    let msg =
+      {
+        Scmp.kind =
+          Scmp.Link_failure
+            {
+              link;
+              if_a = lk.Graph.a_if;
+              if_b = lk.Graph.b_if;
+              expiry = now +. Scmp.default_revocation_ttl;
+            };
+        origin_as = lk.Graph.a;
+        at = now;
+      }
+    in
+    (* Which monitored pairs were riding the link? Decide failover vs
+       blackout from the pre-drop path sets. *)
+    let notified = ref 0 in
+    Array.iter
+      (fun (s, d) ->
+        if Array.length stores > 0 then begin
+          let paths = Beacon_store.paths stores.(s) ~now ~origin:d in
+          let affected = List.filter (on_path link) paths in
+          if affected <> [] then begin
+            Recovery.record_affected recov ~pair:(s, d);
+            incr notified;
+            if List.compare_lengths paths affected = 0 then
+              Recovery.open_blackout recov ~now ~pair:(s, d)
+            else
+              Recovery.record_failover recov
+                ~recovery_s:
+                  (float_of_int (failure_distance link paths) *. cfg.scmp_delay_s)
+          end
+        end)
+      cfg.pairs;
+    let dropped =
+      Array.fold_left (fun acc st -> acc + Beacon_store.drop_link st ~link) 0 stores
+    in
+    Recovery.record_dropped_pcbs recov dropped;
+    let revoked = Path_server.revoke_link ps ~link in
+    (* One SCMP revocation per notified endpoint plus the one that
+       reaches the path server (§4.1). *)
+    let msgs = !notified + 1 in
+    Recovery.record_revocation recov ~segments:revoked ~msgs
+      ~bytes:(msgs * Scmp.wire_bytes msg);
+    if obs_on && Trace.enabled tr Trace.Warn then
+      Trace.emit tr Trace.Warn ~time:now ~category:"fault"
+        ~fields:
+          [
+            ("link", string_of_int link);
+            ("dropped_pcbs", string_of_int dropped);
+            ("revoked_segments", string_of_int revoked);
+            ("notified", string_of_int !notified);
+          ]
+        "link down"
+  in
+  let on_up ~now ~link =
+    Recovery.record_event recov ~action:Fault_plan.Up;
+    if obs_on && Trace.enabled tr Trace.Info then
+      Trace.emit tr Trace.Info ~time:now ~category:"fault"
+        ~fields:[ ("link", string_of_int link) ]
+        "link repaired"
+  in
+  let events = Fault_plan.compile ~graph:g cfg.plan in
+  ignore (Fault_driver.install ~des ~state ~on_down ~on_up events);
+  let on_round_start ~round:_ ~now ~stores =
+    stores_ref := stores;
+    Des.run ~until:now des
+  in
+  let on_round ~round:_ ~now =
+    let stores = !stores_ref in
+    Array.iter
+      (fun (s, d) ->
+        let paths = Beacon_store.paths stores.(s) ~now ~origin:d in
+        (* Re-beaconing found a path again: the blackout (if any) ends. *)
+        if paths <> [] then Recovery.close_blackout recov ~now ~pair:(s, d);
+        (* Keep the path server stocked with the pair's current best
+           segments so revocations have real registrations to purge. *)
+        let rec register k = function
+          | [] -> ()
+          | pcb :: rest ->
+              if k > 0 && Array.length pcb.Pcb.hops > 0 then begin
+                let seg =
+                  Segment.terminate g reg_keys ~kind:Segment.Core_seg ~holder:s pcb
+                in
+                ignore (Path_server.register_core ps ~now seg);
+                register (k - 1) rest
+              end
+        in
+        register cfg.beacon.Beaconing.dissemination_limit paths)
+      cfg.pairs
+  in
+  let outcome =
+    Beaconing.run ~obs
+      ~link_up:(fun ~now:_ l -> Link_state.up state l)
+      ~on_round_start ~on_round g cfg.beacon
+  in
+  (* Events past the last round (repairs, late failures) still count. *)
+  stores_ref := outcome.Beaconing.stores;
+  let horizon = cfg.beacon.Beaconing.duration in
+  Des.run ~until:horizon des;
+  Recovery.finish recov ~now:horizon;
+  (* Validation pass: resolve and forward end-to-end over the surviving
+     topology, with still-down links failed at the routers. *)
+  let validated_pairs, validated_delivered, validated_failovers =
+    Obs.phase obs "faults.validation" (fun () ->
+        let cs = Control_service.build ~core:outcome ~intra:outcome () in
+        let net = Forwarding.network g (Control_service.keys cs) in
+        List.iter (Forwarding.fail_link net) (Link_state.down_links state);
+        let now = Control_service.now cs in
+        let total = ref 0 and delivered = ref 0 and failovers = ref 0 in
+        Array.iter
+          (fun (s, d) ->
+            if s <> d then begin
+              incr total;
+              let ep = Endpoint.create cs net ~src:s ~dst:d in
+              (match Endpoint.send ep ~now () with
+              | Forwarding.Delivered _ -> incr delivered
+              | Forwarding.Dropped _ -> ());
+              failovers := !failovers + Endpoint.failovers ep
+            end)
+          cfg.pairs;
+        (!total, !delivered, !failovers))
+  in
+  Recovery.observe obs recov;
+  {
+    outcome;
+    recovery = Recovery.summary recov;
+    path_server = Path_server.stats ps;
+    validated_pairs;
+    validated_delivered;
+    validated_failovers;
+  }

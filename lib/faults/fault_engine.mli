@@ -1,0 +1,57 @@
+(** Per-trial fault-injection engine.
+
+    Couples one beaconing run to a compiled fault plan and closes the
+    failure→reaction→recovery loop of §4.1:
+
+    - the plan's events fire between beaconing rounds on a {!Des.t}
+      clock driven in lock-step with the rounds;
+    - on a real link-down transition, beacon stores expire every PCB
+      over the link ({!Beacon_store.drop_link}), the path server
+      revokes affected segments ({!Path_server.revoke_link}), and the
+      adjacent border router's {!Scmp} link-failure notification is
+      accounted to every monitored pair that was using the link;
+    - monitored pairs fail over to cached alternate paths when they
+      have one (recovery = the SCMP notification delay) or enter a
+      blackout until re-beaconing finds a new path (recovery = the
+      blackout duration, only re-beaconing can end it);
+    - dissemination over dead links is suppressed via the beaconing
+      [link_up] hook, so the control plane routes around failures
+      instead of advertising them.
+
+    After the run, a validation pass builds a {!Control_service} from
+    the final stores and drives an {!Endpoint} per monitored pair over
+    a network whose still-down links are failed, counting end-to-end
+    deliveries and dataplane failovers.
+
+    Everything is deterministic: the plan compiles to a fixed event
+    sequence and rounds are the only scheduling interleaving. *)
+
+type config = {
+  graph : Graph.t;
+  beacon : Beaconing.config;
+  plan : Fault_plan.t;
+  pairs : (int * int) array;  (** monitored (src, dst) pairs *)
+  scmp_delay_s : float;
+      (** per-hop propagation delay of the SCMP notification path *)
+}
+
+type result = {
+  outcome : Beaconing.outcome;  (** the underlying beaconing run *)
+  recovery : Recovery.summary;
+  path_server : Path_server.stats;
+      (** registration/revocation accounting of the trial's server *)
+  validated_pairs : int;
+  validated_delivered : int;
+      (** pairs whose endpoint delivered a packet end-to-end in the
+          post-run validation pass *)
+  validated_failovers : int;
+      (** dataplane failovers (SCMP-triggered path switches) the
+          validation endpoints performed *)
+}
+
+val run : ?obs:Obs.t -> config -> result
+(** With an enabled [obs] (default {!Obs.disabled}): the beaconing,
+    DES and path-server instrumentation all attach to it, fault
+    transitions emit [fault]-category trace events ([Warn] down,
+    [Info] up) and {!Recovery.observe} exports the trial's counters
+    and histograms on completion. *)

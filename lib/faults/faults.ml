@@ -1,0 +1,20 @@
+(** Deterministic fault injection and failure recovery.
+
+    Facade over the subsystem's parts, so callers can say
+    [Faults.Plan.plan], [Faults.Engine.run], …:
+
+    - {!Plan} ({!Fault_plan}): declarative seeded failure plans
+      compiled to link down/up event sequences;
+    - {!Link_state}: reference-counted liveness under overlapping
+      causes;
+    - {!Driver} ({!Fault_driver}): replays compiled events through a
+      {!Des.t};
+    - {!Recovery}: per-trial failover/blackout/revocation accounting;
+    - {!Engine} ({!Fault_engine}): one beaconing run under one plan,
+      reactions wired end to end. *)
+
+module Plan = Fault_plan
+module Link_state = Link_state
+module Driver = Fault_driver
+module Recovery = Recovery
+module Engine = Fault_engine

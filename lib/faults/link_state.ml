@@ -1,0 +1,34 @@
+type t = { holds : int array; since : float array }
+
+type transition = Went_down | Went_up | No_change
+
+let create ~n_links =
+  if n_links < 0 then invalid_arg "Link_state.create: n_links must be >= 0";
+  { holds = Array.make n_links 0; since = Array.make n_links nan }
+
+let apply t ~now ~link ~action =
+  match action with
+  | Fault_plan.Down ->
+      t.holds.(link) <- t.holds.(link) + 1;
+      if t.holds.(link) = 1 then begin
+        t.since.(link) <- now;
+        Went_down
+      end
+      else No_change
+  | Fault_plan.Up ->
+      if t.holds.(link) = 0 then No_change
+      else begin
+        t.holds.(link) <- t.holds.(link) - 1;
+        if t.holds.(link) = 0 then Went_up else No_change
+      end
+
+let up t l = t.holds.(l) = 0
+
+let down_since t l = if t.holds.(l) > 0 then Some t.since.(l) else None
+
+let down_links t =
+  let acc = ref [] in
+  for l = Array.length t.holds - 1 downto 0 do
+    if t.holds.(l) > 0 then acc := l :: !acc
+  done;
+  !acc

@@ -1,0 +1,28 @@
+(** Reference-counted link liveness.
+
+    Several overlapping fault specs may fail the same link (a flap
+    inside an AS outage, a stochastic failure during a regional burst);
+    a link is up only when {e no} cause holds it down. {!apply} folds a
+    raw plan event into the counter and reports whether the link
+    actually changed state, so reactions (revocation, repair) fire once
+    per real transition, not once per overlapping cause. *)
+
+type t
+
+type transition = Went_down | Went_up | No_change
+
+val create : n_links:int -> t
+(** All links start up. *)
+
+val apply : t -> now:float -> link:int -> action:Fault_plan.action -> transition
+(** Fold one plan event. [Down] increments the link's hold count
+    ([Went_down] on the 0→1 edge); [Up] decrements it, never below
+    zero ([Went_up] on the 1→0 edge). *)
+
+val up : t -> int -> bool
+
+val down_since : t -> int -> float option
+(** Time of the transition that took the link down, if it is down. *)
+
+val down_links : t -> int list
+(** Currently-down links in ascending id order. *)

@@ -1,0 +1,133 @@
+type t = {
+  mutable events_down : int;
+  mutable events_up : int;
+  affected : (int * int, unit) Hashtbl.t;
+  mutable failovers : int;
+  mutable blackouts : int;
+  mutable unrecovered : int;
+  mutable blackout_time_s : float;
+  mutable recovery_rev : float list;
+  mutable blackout_rev : float list;
+  open_blackouts : (int * int, float) Hashtbl.t;
+  mutable revoked_segments : int;
+  mutable revocation_msgs : int;
+  mutable revocation_bytes : float;
+  mutable dropped_pcbs : int;
+}
+
+let create () =
+  {
+    events_down = 0;
+    events_up = 0;
+    affected = Hashtbl.create 64;
+    failovers = 0;
+    blackouts = 0;
+    unrecovered = 0;
+    blackout_time_s = 0.0;
+    recovery_rev = [];
+    blackout_rev = [];
+    open_blackouts = Hashtbl.create 16;
+    revoked_segments = 0;
+    revocation_msgs = 0;
+    revocation_bytes = 0.0;
+    dropped_pcbs = 0;
+  }
+
+let record_event t ~action =
+  match action with
+  | Fault_plan.Down -> t.events_down <- t.events_down + 1
+  | Fault_plan.Up -> t.events_up <- t.events_up + 1
+
+let record_affected t ~pair = Hashtbl.replace t.affected pair ()
+
+let record_failover t ~recovery_s =
+  t.failovers <- t.failovers + 1;
+  t.recovery_rev <- recovery_s :: t.recovery_rev
+
+let record_revocation t ~segments ~msgs ~bytes =
+  t.revoked_segments <- t.revoked_segments + segments;
+  t.revocation_msgs <- t.revocation_msgs + msgs;
+  t.revocation_bytes <- t.revocation_bytes +. float_of_int bytes
+
+let record_dropped_pcbs t n = t.dropped_pcbs <- t.dropped_pcbs + n
+
+let open_blackout t ~now ~pair =
+  if not (Hashtbl.mem t.open_blackouts pair) then begin
+    Hashtbl.replace t.open_blackouts pair now;
+    t.blackouts <- t.blackouts + 1
+  end
+
+let close_blackout t ~now ~pair =
+  match Hashtbl.find_opt t.open_blackouts pair with
+  | None -> ()
+  | Some since ->
+      Hashtbl.remove t.open_blackouts pair;
+      let d = now -. since in
+      t.blackout_time_s <- t.blackout_time_s +. d;
+      t.blackout_rev <- d :: t.blackout_rev;
+      t.recovery_rev <- d :: t.recovery_rev
+
+let finish t ~now =
+  let dangling =
+    Hashtbl.fold (fun pair since acc -> (pair, since) :: acc) t.open_blackouts []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (pair, since) ->
+      Hashtbl.remove t.open_blackouts pair;
+      let d = now -. since in
+      t.blackout_time_s <- t.blackout_time_s +. d;
+      t.blackout_rev <- d :: t.blackout_rev;
+      t.unrecovered <- t.unrecovered + 1)
+    dangling
+
+type summary = {
+  events_down : int;
+  events_up : int;
+  affected_pairs : int;
+  failovers : int;
+  blackouts : int;
+  unrecovered : int;
+  blackout_time_s : float;
+  recovery_samples : float array;
+  revoked_segments : int;
+  revocation_msgs : int;
+  revocation_bytes : float;
+  dropped_pcbs : int;
+}
+
+let summary (t : t) =
+  {
+    events_down = t.events_down;
+    events_up = t.events_up;
+    affected_pairs = Hashtbl.length t.affected;
+    failovers = t.failovers;
+    blackouts = t.blackouts;
+    unrecovered = t.unrecovered;
+    blackout_time_s = t.blackout_time_s;
+    recovery_samples = Array.of_list (List.rev t.recovery_rev);
+    revoked_segments = t.revoked_segments;
+    revocation_msgs = t.revocation_msgs;
+    revocation_bytes = t.revocation_bytes;
+    dropped_pcbs = t.dropped_pcbs;
+  }
+
+let observe obs (t : t) =
+  if Obs.on obs then begin
+    let reg = Obs.registry obs in
+    Registry.add reg "fault_events_total"
+      ~labels:[ ("action", "down") ]
+      (float_of_int t.events_down);
+    Registry.add reg "fault_events_total"
+      ~labels:[ ("action", "up") ]
+      (float_of_int t.events_up);
+    Registry.add reg "fault_affected_pairs_total"
+      (float_of_int (Hashtbl.length t.affected));
+    Registry.add reg "fault_failovers_total" (float_of_int t.failovers);
+    Registry.add reg "fault_blackouts_total" (float_of_int t.blackouts);
+    Registry.add reg "fault_revocation_bytes_total" t.revocation_bytes;
+    let h_rec = Registry.histogram reg "fault_recovery_time_s" in
+    List.iter (Histogram.observe h_rec) (List.rev t.recovery_rev);
+    let h_black = Registry.histogram reg "fault_blackout_s" in
+    List.iter (Histogram.observe h_black) (List.rev t.blackout_rev)
+  end

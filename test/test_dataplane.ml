@@ -108,7 +108,13 @@ let test_forward_link_failure_scmp () =
       | Forwarding.Dropped { reason = Forwarding.Link_down l'; scmp = Some m; _ } ->
           check Alcotest.int "reports the failed link" l l';
           (match m.Scmp.kind with
-          | Scmp.Link_failure { link } -> check Alcotest.int "scmp link" l link
+          | Scmp.Link_failure { link; if_a; if_b; expiry } ->
+              check Alcotest.int "scmp link" l link;
+              let lk = Graph.link g l in
+              check Alcotest.int "scmp if_a" lk.Graph.a_if if_a;
+              check Alcotest.int "scmp if_b" lk.Graph.b_if if_b;
+              Alcotest.(check bool) "revocation expires in the future" true
+                (expiry > now_of cs)
           | _ -> Alcotest.fail "wrong SCMP kind");
           Alcotest.(check bool) "scmp has a size" true (Scmp.wire_bytes m > 0)
       | _ -> Alcotest.fail "must be dropped with SCMP");
@@ -163,6 +169,42 @@ let test_endpoint_exhaustion () =
   Endpoint.refresh ep;
   Alcotest.(check bool) "refresh restores" true (Endpoint.available_paths ep <> [])
 
+let test_scmp_wire_bytes_and_pp () =
+  (* wire_bytes is kind-dependent, and pp round-trips every field of
+     the message into its rendering. *)
+  let failure =
+    {
+      Scmp.kind = Scmp.Link_failure { link = 42; if_a = 3; if_b = 7; expiry = 1200.0 };
+      origin_as = 9;
+      at = 600.0;
+    }
+  in
+  let expired = { Scmp.kind = Scmp.Path_expired; origin_as = 9; at = 600.0 } in
+  let unreachable =
+    { Scmp.kind = Scmp.Destination_unreachable; origin_as = 9; at = 600.0 }
+  in
+  let base = Scmp.header_bytes + Scmp.quote_bytes in
+  check Alcotest.int "unreachable is header + quote" base
+    (Scmp.wire_bytes unreachable);
+  check Alcotest.int "path-expired adds the timestamp" (base + 8)
+    (Scmp.wire_bytes expired);
+  check Alcotest.int "link failure adds link + ifaces + expiry" (base + 16)
+    (Scmp.wire_bytes failure);
+  Alcotest.(check bool) "link failure is the largest kind" true
+    (Scmp.wire_bytes failure > Scmp.wire_bytes expired
+    && Scmp.wire_bytes expired > Scmp.wire_bytes unreachable);
+  let rendered = Format.asprintf "%a" Scmp.pp failure in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp mentions %S" needle)
+        true
+        (let len = String.length needle in
+         let n = String.length rendered in
+         let rec scan i = i + len <= n && (String.sub rendered i len = needle || scan (i + 1)) in
+         scan 0))
+    [ "42"; "3"; "7"; "1200"; "AS 9"; "600" ]
+
 let test_sig_gateway_lpm () =
   let _, cs, net = Lazy.force env in
   let sig_gw = Sig_gateway.create cs net ~local_as:4 in
@@ -206,6 +248,7 @@ let suite =
     ("forward rejects tampered MAC", `Quick, test_forward_rejects_tampered_mac);
     ("forward rejects expired", `Quick, test_forward_rejects_expired);
     ("link failure SCMP", `Quick, test_forward_link_failure_scmp);
+    ("SCMP wire bytes and pp", `Quick, test_scmp_wire_bytes_and_pp);
     ("endpoint failover", `Quick, test_endpoint_failover);
     ("endpoint exhaustion", `Quick, test_endpoint_exhaustion);
     ("sig gateway LPM", `Quick, test_sig_gateway_lpm);

@@ -137,8 +137,8 @@ let test_table1_measure () =
     ((get "Endpoint Path Lookup").Table1.messages > 0.0)
 
 let test_scenarios_registry () =
-  check Alcotest.int "seven scenarios" 7 (List.length Scenarios.all);
-  check Alcotest.int "distinct names" 7
+  check Alcotest.int "eight scenarios" 8 (List.length Scenarios.all);
+  check Alcotest.int "distinct names" 8
     (List.length (List.sort_uniq compare Scenarios.names));
   List.iter
     (fun n ->

@@ -17,6 +17,7 @@ let () =
       ("pcb-codec", Test_pcb_codec.suite);
       ("analysis", Test_analysis.suite);
       ("segments", Test_segments.suite);
+      ("faults", Test_faults.suite);
       ("dataplane", Test_dataplane.suite);
       ("deployment", Test_deployment.suite);
       ("experiments", Test_experiments.suite);

@@ -271,6 +271,52 @@ let test_path_server_revoke () =
   check Alcotest.int "gone" 0 (Path_server.total_segments ps);
   check Alcotest.int "idempotent" 0 (Path_server.revoke_link ps ~link)
 
+let test_path_server_revoke_unknown_link () =
+  let _, _, seg = sample_segment () in
+  let ps = Path_server.create () in
+  ignore (Path_server.register_down ps ~now:1.0 seg);
+  (* A link no stored segment traverses: no-op, nothing purged, but
+     the revocation attempt itself is still counted. *)
+  check Alcotest.int "unknown link revokes nothing" 0
+    (Path_server.revoke_link ps ~link:424242);
+  check Alcotest.int "store untouched" 1 (Path_server.total_segments ps);
+  let st = Path_server.stats ps in
+  check Alcotest.int "revocation attempt counted" 1 st.Path_server.revocations;
+  check Alcotest.int "no segments revoked" 0 st.Path_server.revoked_segments
+
+let test_path_server_revoke_obs_consistency () =
+  let _, _, seg = sample_segment () in
+  let obs = Obs.create () in
+  let ps = Path_server.create ~obs () in
+  ignore (Path_server.register_down ps ~now:1.0 seg);
+  let link = seg.Segment.links.(0) in
+  let revoked = Path_server.revoke_link ps ~link in
+  ignore (Path_server.revoke_link ps ~link:424242);
+  let st = Path_server.stats ps in
+  check Alcotest.int "stats agree with return value" revoked
+    st.Path_server.revoked_segments;
+  let counter =
+    Registry.counter (Obs.registry obs) "path_server_revoked_segments_total"
+  in
+  check (Alcotest.float 0.0) "obs counter agrees with stats"
+    (float_of_int st.Path_server.revoked_segments)
+    !counter
+
+let test_path_server_reregister_after_recovery () =
+  let _, _, seg = sample_segment () in
+  let ps = Path_server.create () in
+  ignore (Path_server.register_down ps ~now:1.0 seg);
+  let link = seg.Segment.links.(0) in
+  check Alcotest.int "revoked" 1 (Path_server.revoke_link ps ~link);
+  check Alcotest.int "empty while down" 0 (Path_server.total_segments ps);
+  (* The link comes back and the leaf re-registers the same segment:
+     the server must accept it again. *)
+  Alcotest.(check bool) "re-register accepted" true
+    (Path_server.register_down ps ~now:2.0 seg);
+  check Alcotest.int "stored again" 1 (Path_server.total_segments ps);
+  check Alcotest.int "lookup finds it again" 1
+    (List.length (Path_server.lookup_down ps ~now:3.0 ~leaf:4))
+
 let test_path_server_cap () =
   let g, cs = Lazy.force built in
   let keys = Control_service.keys cs in
@@ -411,6 +457,11 @@ let suite =
     ("path server register/lookup", `Quick, test_path_server_register_lookup);
     ("path server expiry", `Quick, test_path_server_expiry);
     ("path server revoke", `Quick, test_path_server_revoke);
+    ("path server revoke unknown link", `Quick, test_path_server_revoke_unknown_link);
+    ("path server revoke obs counter", `Quick, test_path_server_revoke_obs_consistency);
+    ( "path server re-register after recovery",
+      `Quick,
+      test_path_server_reregister_after_recovery );
     ("path server cap", `Quick, test_path_server_cap);
     ("path server deregister", `Quick, test_deregister);
     ("control service revocation", `Quick, test_control_service_revocation);
