@@ -74,6 +74,45 @@ let sample_pcb =
     (let p = Pcb.origin_pcb ~origin:0 ~now:0.0 ~lifetime:21600.0 in
      Pcb.extend p ~asn:0 ~ingress:0 ~egress:1 ~link:3 ~peers:[||])
 
+(* A mid-run soak trial on the fig5 small core: the state a pathdyn
+   checkpoint serializes. *)
+let bench_soak =
+  lazy
+    (let g = Lazy.force small_core in
+     let interval = 600.0 in
+     let duration = interval *. 6.0 in
+     let cfg =
+       {
+         Soak.graph = g;
+         beacon =
+           {
+             Beaconing.default_config with
+             Beaconing.algorithm = Beacon_policy.Baseline;
+             Beaconing.storage_limit = 20;
+             Beaconing.duration = duration;
+           };
+         plan =
+           Fault_plan.plan ~seed:42L
+             [
+               Fault_plan.Stochastic
+                 { mtbf = 7200.0; mttr = 600.0; start = interval; until = duration };
+             ];
+         pairs = Array.init 4 (fun i -> (i, i + 8));
+         register_top = 3;
+         metric_labels = [ ("cell", "bench") ];
+       }
+     in
+     let t = Soak.create cfg in
+     Soak.advance t ~upto:6;
+     (cfg, t))
+
+let bench_soak_trial = lazy (snd (Lazy.force bench_soak))
+
+let bench_soak_bytes =
+  lazy
+    (let cfg, t = Lazy.force bench_soak in
+     (cfg, Soak.encode t))
+
 let beaconing_run g algorithm rounds =
   let cfg =
     {
@@ -161,6 +200,33 @@ let tests =
                  (Pcb.extend p ~asn:0 ~ingress:0 ~egress:1 ~link:i ~peers:[||]))
           done;
           fun () -> Beacon_store.drop_link s ~link:0));
+    (* Supervision kernels: the per-checkpoint cost of the pathdyn soak
+       (snapshot encode/decode and the invariant gate, at the fig5
+       small-core scale) and the per-round watchdog / supervised-map
+       overhead every supervised experiment pays. *)
+    Test.make ~name:"supervise/soak-encode-small-core"
+      (Staged.stage
+         (let t = Lazy.force bench_soak_trial in
+          fun () -> Soak.encode t));
+    Test.make ~name:"supervise/soak-decode-small-core"
+      (Staged.stage
+         (let cfg, bytes = Lazy.force bench_soak_bytes in
+          fun () -> Soak.restore cfg bytes));
+    Test.make ~name:"supervise/invariants-check"
+      (Staged.stage
+         (let ctx = Soak.invariant_ctx (Lazy.force bench_soak_trial) in
+          fun () -> Invariants.check_all ctx));
+    Test.make ~name:"supervise/watchdog-check"
+      (Staged.stage
+         (let wd = Watchdog.start ~label:"bench" (Some 3600.0) in
+          fun () -> Watchdog.check wd));
+    Test.make ~name:"supervise/map-16-noop-jobs"
+      (Staged.stage
+         (let input = Array.init 16 (fun i -> i) in
+          fun () ->
+            Supervise.map ~jobs:1 ~base_seed:1L
+              (fun ~obs:_ ~seed:_ ~watchdog:_ i -> i)
+              input));
     (* Ablations: the design choices called out in DESIGN.md. *)
     Test.make ~name:"ablation/diversity-arith-mean-3rounds"
       (Staged.stage (fun () ->

@@ -61,6 +61,99 @@ let out_term =
 
 let resolve_jobs jobs = if jobs = 0 then Runner.default_jobs () else jobs
 
+(* Supervision flags (checkpoint/resume, retries, failure injection).
+   Only the generic [run] subcommand exposes them; the historical
+   aliases run unsupervised with Supervise.default_cli. *)
+let sup_term =
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Write a resumable checkpoint every $(docv) rounds (0 = off; \
+             requires --checkpoint-dir). Supported by checkpointing scenarios \
+             (pathdyn).")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"Directory for checkpoint files (created if missing).")
+  in
+  let resume =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the newest compatible checkpoint in \
+             --checkpoint-dir instead of starting fresh. The completed run is \
+             byte-identical to an uninterrupted one.")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"K"
+          ~doc:
+            "Abort (exit 3) right after the $(docv)-th checkpoint write — a \
+             deterministic stand-in for SIGKILL, used by the resume tests.")
+  in
+  let max_failures =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-failures" ] ~docv:"N"
+          ~doc:
+            "Tolerate up to $(docv) failed jobs before exiting nonzero; failed \
+             jobs are always excluded from results and listed in the report.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a crashed or timed-out job up to $(docv) times with \
+             deterministically re-derived seeds.")
+  in
+  let watchdog =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-attempt wall-clock budget; a job exceeding it is abandoned at \
+             its next safe point and retried.")
+  in
+  let inject_fail =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-fail" ] ~docv:"I"
+          ~doc:
+            "Force the job at index $(docv) to raise on every attempt \
+             (graceful-degradation testing).")
+  in
+  Term.(
+    const
+      (fun checkpoint_every checkpoint_dir resume kill_after max_failures retries
+           watchdog_s inject_fail ->
+        {
+          Supervise.checkpoint_every;
+          checkpoint_dir;
+          resume;
+          kill_after;
+          max_failures;
+          retries;
+          watchdog_s;
+          inject_fail;
+        })
+    $ checkpoint_every $ checkpoint_dir $ resume $ kill_after $ max_failures
+    $ retries $ watchdog $ inject_fail)
+
 (* The footer goes to stderr so stdout is byte-identical across runs
    (and across --jobs values); wall-clock time is not deterministic. *)
 let timed name f =
@@ -145,14 +238,26 @@ let with_obs (metrics_out, metrics_csv, trace) f =
         (fun () -> f obs)
 
 (* Run one scenario end to end: build, run, print, optionally export.
-   The aliases below feed hand-built configs through the same path. *)
+   The aliases below feed hand-built configs through the same path.
+   Exits nonzero when the scenario reports a failure budget overrun,
+   and with code 3 on a deliberate --kill-after abort (after the
+   with_obs finalizers have run). *)
 let exec (type c) (module S : Scenario.Cli with type config = c) (config : c) jobs
     out obs_opts =
-  with_obs obs_opts (fun obs ->
-      timed S.name (fun () ->
-          let result = S.run ~obs ~jobs:(resolve_jobs jobs) config in
-          S.print result;
-          write_result out (S.to_json result)))
+  match
+    with_obs obs_opts (fun obs ->
+        timed S.name (fun () ->
+            let result = S.run ~obs ~jobs:(resolve_jobs jobs) config in
+            S.print result;
+            write_result out (S.to_json result);
+            S.exit_code result))
+  with
+  | 0 -> ()
+  | code -> exit code
+  | exception Supervise.Killed { checkpoints } ->
+      Printf.eprintf "aborted after %d checkpoint(s) (--kill-after)\n%!"
+        checkpoints;
+      exit 3
 
 let run_cmd =
   let scenario =
@@ -164,7 +269,7 @@ let run_cmd =
             (Printf.sprintf "The scenario to run: %s."
                (String.concat ", " Scenarios.names)))
   in
-  let run name scale seed jobs out obs_opts =
+  let run name scale seed sup jobs out obs_opts =
     match Scenarios.find name with
     | None ->
         `Error
@@ -172,13 +277,16 @@ let run_cmd =
             Printf.sprintf "unknown scenario %S (available: %s)" name
               (String.concat ", " Scenarios.names) )
     | Some (module S : Scenario.Cli) ->
-        exec (module S) (S.config_of_cli { Scenario.scale; seed }) jobs out obs_opts;
+        exec (module S) (S.config_of_cli { Scenario.scale; seed; sup }) jobs out
+          obs_opts;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run any experiment through the generic scenario driver")
     Term.(
-      ret (const run $ scenario $ scale_term $ seed_term $ jobs_term $ out_term $ obs_term))
+      ret
+        (const run $ scenario $ scale_term $ seed_term $ sup_term $ jobs_term
+       $ out_term $ obs_term))
 
 let table1_cmd =
   let measure =
@@ -193,7 +301,9 @@ let table1_cmd =
 
 let scenario_alias (module S : Scenario.Cli) ~doc =
   let run scale seed jobs out obs_opts =
-    exec (module S) (S.config_of_cli { Scenario.scale; seed }) jobs out obs_opts
+    exec (module S)
+      (S.config_of_cli { Scenario.scale; seed; sup = Supervise.default_cli })
+      jobs out obs_opts
   in
   Cmd.v (Cmd.info S.name ~doc)
     Term.(const run $ scale_term $ seed_term $ jobs_term $ out_term $ obs_term)
@@ -305,7 +415,7 @@ let all_cmd =
   let run scale seed jobs obs_opts =
     with_obs obs_opts (fun obs ->
         timed "all" (fun () ->
-            let cli = { Scenario.scale; seed } in
+            let cli = { Scenario.scale; seed; sup = Supervise.default_cli } in
             let jobs = resolve_jobs jobs in
             (* Every registered scenario except the grid search, which
                is a tool rather than a paper artefact. *)

@@ -21,9 +21,14 @@ let slot t origin =
       Hashtbl.replace t.origins origin s;
       s
 
-(* Lexicographic badness: expired, then longer, then older. *)
+(* Lexicographic badness: expired, then longer, then older. The path
+   key breaks the remaining ties so the ordering is total — which entry
+   wins never depends on hash-table iteration order. *)
 let badness ~now (p : Pcb.t) =
-  ((if Pcb.is_valid p ~now then 0 else 1), Pcb.num_hops p, -.p.Pcb.timestamp)
+  ( (if Pcb.is_valid p ~now then 0 else 1),
+    Pcb.num_hops p,
+    -.p.Pcb.timestamp,
+    p.Pcb.key )
 
 let insert t ~now (pcb : Pcb.t) =
   if not (Pcb.is_valid pcb ~now) then Rejected
@@ -76,7 +81,10 @@ let paths t ~now ~origin =
         s.by_key []
       |> List.sort (fun (a : Pcb.t) (b : Pcb.t) ->
              match compare (Pcb.num_hops a) (Pcb.num_hops b) with
-             | 0 -> compare b.Pcb.timestamp a.Pcb.timestamp
+             | 0 -> (
+                 match compare b.Pcb.timestamp a.Pcb.timestamp with
+                 | 0 -> compare a.Pcb.key b.Pcb.key
+                 | c -> c)
              | c -> c)
 
 let origins t =
@@ -135,3 +143,32 @@ let all_paths t ~now =
         (fun _ p acc -> if Pcb.is_valid p ~now then p :: acc else acc)
         s.by_key acc)
     t.origins []
+  |> List.sort (fun (a : Pcb.t) (b : Pcb.t) ->
+         compare (a.Pcb.origin, a.Pcb.key) (b.Pcb.origin, b.Pcb.key))
+
+type dump = { d_limit : int; d_origins : (int * float * Pcb.t list) list }
+
+let dump t =
+  let d_origins =
+    Hashtbl.fold
+      (fun origin s acc ->
+        let pcbs =
+          Hashtbl.fold (fun _ p acc -> p :: acc) s.by_key []
+          |> List.sort (fun (a : Pcb.t) (b : Pcb.t) ->
+                 compare a.Pcb.key b.Pcb.key)
+        in
+        (origin, s.last_modified, pcbs) :: acc)
+      t.origins []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  { d_limit = t.limit; d_origins }
+
+let of_dump d =
+  let t = create ~limit:d.d_limit in
+  List.iter
+    (fun (origin, last_modified, pcbs) ->
+      let s = slot t origin in
+      List.iter (fun (p : Pcb.t) -> Hashtbl.replace s.by_key p.Pcb.key p) pcbs;
+      s.last_modified <- last_modified)
+    d.d_origins;
+  t

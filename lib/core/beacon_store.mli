@@ -22,7 +22,8 @@ val insert : t -> now:float -> Pcb.t -> insert_outcome
 
 val paths : t -> now:float -> origin:int -> Pcb.t list
 (** Valid stored PCBs from [origin], sorted by (hop count, newer
-    first). *)
+    first, then path key) — a total order, so the result never depends
+    on internal hash-table layout. *)
 
 val origins : t -> int list
 (** Origins with at least one stored PCB (validity not re-checked). *)
@@ -44,4 +45,25 @@ val drop_link : t -> link:int -> int
     dropped. *)
 
 val all_paths : t -> now:float -> Pcb.t list
-(** Every valid stored PCB (used by the quality analysis). *)
+(** Every valid stored PCB, sorted by (origin, path key) (used by the
+    quality analysis and segment extraction). *)
+
+(** {1 Checkpointing} *)
+
+type dump = {
+  d_limit : int;
+  d_origins : (int * float * Pcb.t list) list;
+      (** (origin, last_modified, PCBs sorted by key), sorted by
+          origin *)
+}
+(** Canonical value of the whole store: equal stores dump equal values
+    regardless of insertion order or hash-table layout. Validity is
+    {e not} re-checked — expired entries are dumped too, so a restored
+    store behaves identically (including future [prune_expired]
+    calls). *)
+
+val dump : t -> dump
+
+val of_dump : dump -> t
+(** Rebuild a store from a dump; [dump (of_dump d) = d] and every
+    subsequent operation behaves as on the original. *)

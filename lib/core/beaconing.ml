@@ -109,23 +109,46 @@ let observe ?(top = 16) obs (outcome : outcome) =
         "beaconing complete"
   end
 
-let run ?(obs = Obs.disabled) ?link_up ?on_round_start ?on_round g cfg =
-  if cfg.interval <= 0.0 then invalid_arg "Beaconing.run: interval must be positive";
+type engine = {
+  eng_graph : Graph.t;
+  eng_config : config;
+  eng_stores : Beacon_store.t array;
+  eng_stats : stats;
+  eng_step : round:int -> unit;
+}
+
+let engine ?(obs = Obs.disabled) ?link_up ?stores ?stats g cfg =
+  if cfg.interval <= 0.0 then
+    invalid_arg "Beaconing.engine: interval must be positive";
   if cfg.dissemination_limit < 1 then
-    invalid_arg "Beaconing.run: dissemination limit must be >= 1";
+    invalid_arg "Beaconing.engine: dissemination limit must be >= 1";
   let n = Graph.n g in
   let num_links = Graph.num_links g in
   let rounds = max 1 (int_of_float ((cfg.duration /. cfg.interval) +. 0.5)) in
-  let stores = Array.init n (fun _ -> Beacon_store.create ~limit:cfg.storage_limit) in
+  let stores =
+    match stores with
+    | Some s ->
+        if Array.length s <> n then
+          invalid_arg "Beaconing.engine: stores array length mismatch";
+        s
+    | None ->
+        Array.init n (fun _ -> Beacon_store.create ~limit:cfg.storage_limit)
+  in
   let stats =
-    {
-      bytes_on_iface = Array.make (2 * num_links) 0.0;
-      pcbs_on_iface = Array.make (2 * num_links) 0;
-      total_bytes = 0.0;
-      total_pcbs = 0;
-      crypto_failures = 0;
-      rounds;
-    }
+    match stats with
+    | Some s ->
+        if Array.length s.bytes_on_iface <> 2 * num_links then
+          invalid_arg "Beaconing.engine: stats array length mismatch";
+        s
+    | None ->
+        {
+          bytes_on_iface = Array.make (2 * num_links) 0.0;
+          pcbs_on_iface = Array.make (2 * num_links) 0;
+          total_bytes = 0.0;
+          total_pcbs = 0;
+          crypto_failures = 0;
+          rounds;
+        }
   in
   (* Observability cells, hoisted so the send path pays one branch when
      disabled (the [Obs.disabled] default). *)
@@ -532,11 +555,8 @@ let run ?(obs = Obs.disabled) ?link_up ?on_round_start ?on_round g cfg =
     outbox_len := 0
   in
 
-  for r = 0 to rounds - 1 do
+  let step ~round:r =
     let now = float_of_int r *. cfg.interval in
-    (match on_round_start with
-    | None -> ()
-    | Some f -> f ~round:r ~now ~stores);
     if r > 0 && r mod 6 = 0 then begin
       Array.iter (fun s -> Beacon_store.prune_expired s ~now) stores;
       Array.iter (fun st -> Diversity_state.prune st ~now) div_states
@@ -576,11 +596,43 @@ let run ?(obs = Obs.disabled) ?link_up ?on_round_start ?on_round g cfg =
             ("total_pcbs", string_of_int stats.total_pcbs);
           ]
         "selection round complete";
-    deliver ~now;
+    deliver ~now
+  in
+  {
+    eng_graph = g;
+    eng_config = cfg;
+    eng_stores = stores;
+    eng_stats = stats;
+    eng_step = step;
+  }
+
+let engine_stores e = e.eng_stores
+
+let engine_stats e = e.eng_stats
+
+let engine_round e ~round = e.eng_step ~round
+
+let engine_outcome e =
+  {
+    graph = e.eng_graph;
+    config = e.eng_config;
+    stores = e.eng_stores;
+    stats = e.eng_stats;
+  }
+
+let run ?(obs = Obs.disabled) ?link_up ?on_round_start ?on_round g cfg =
+  let e = engine ~obs ?link_up g cfg in
+  let rounds = e.eng_stats.rounds in
+  for r = 0 to rounds - 1 do
+    let now = float_of_int r *. cfg.interval in
+    (match on_round_start with
+    | None -> ()
+    | Some f -> f ~round:r ~now ~stores:e.eng_stores);
+    e.eng_step ~round:r;
     match on_round with None -> () | Some f -> f ~round:r ~now
   done;
-  let outcome = { graph = g; config = cfg; stores; stats } in
-  if obs_on then observe obs outcome;
+  let outcome = engine_outcome e in
+  if Obs.on obs then observe obs outcome;
   outcome
 
 let received_bytes_by_as outcome =

@@ -59,6 +59,52 @@ type outcome = {
   stats : stats;
 }
 
+(** {1 Stepwise engine}
+
+    {!run} executes all rounds in one call. The engine below exposes
+    the same simulation round by round, so a supervisor can checkpoint
+    between rounds and resume later: build an engine over restored
+    [stores]/[stats] and call {!engine_round} for the remaining rounds
+    only. A resumed engine is behaviour-identical to one that executed
+    the earlier rounds itself {e provided} the algorithm keeps no state
+    outside stores and stats (true for [Baseline]; the diversity and
+    latency algorithms keep history in an internal state that is not
+    restorable, so checkpointing those is unsupported). *)
+
+type engine
+
+val engine :
+  ?obs:Obs.t ->
+  ?link_up:(now:float -> int -> bool) ->
+  ?stores:Beacon_store.t array ->
+  ?stats:stats ->
+  Graph.t ->
+  config ->
+  engine
+(** Set up a simulation without running any rounds. [stores]/[stats]
+    inject previously checkpointed state (they are adopted, not
+    copied); by default fresh empty ones are created. Raises
+    [Invalid_argument] on a config {!run} would reject or on an
+    injected array whose length does not match the graph. *)
+
+val engine_round : engine -> round:int -> unit
+(** Execute beaconing interval [round] (0-based): prune (every 6th
+    round), select, disseminate, deliver. Rounds must be driven in
+    increasing order starting at the first non-executed round;
+    {!run}'s [on_round_start]/[on_round] hooks correspond to calling
+    code before/after [engine_round]. *)
+
+val engine_stores : engine -> Beacon_store.t array
+(** The live store array (the one passed in, if any). *)
+
+val engine_stats : engine -> stats
+(** The live accounting record. [stats.rounds] is the planned round
+    count [duration / interval]. *)
+
+val engine_outcome : engine -> outcome
+(** Package the engine's current state as an {!outcome}. Does not
+    {!observe}. *)
+
 val run :
   ?obs:Obs.t ->
   ?link_up:(now:float -> int -> bool) ->

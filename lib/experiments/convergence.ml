@@ -224,3 +224,5 @@ let print (r : result) =
   print_endline
     "SCION needs no routing convergence: alternates were disseminated in advance;\n\
      the endpoint switches as soon as the SCMP notification arrives (§4.1, §5)."
+
+let exit_code _ = 0

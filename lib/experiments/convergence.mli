@@ -65,3 +65,6 @@ val run : ?obs:Obs.t -> ?jobs:int -> config -> result
 val to_json : result -> Obs_json.t
 
 val print : result -> unit
+
+val exit_code : result -> int
+(** Always [0]; this scenario has no tolerated-failure budget. *)

@@ -67,3 +67,6 @@ val print : result -> unit
 (** Paper-style rows: one series per protocol with the five-number
     summary of the per-monitor ratio distribution, plus the Q3
     headline checks (orders of magnitude). *)
+
+val exit_code : result -> int
+(** Always [0]; this scenario has no tolerated-failure budget. *)

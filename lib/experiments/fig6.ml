@@ -265,3 +265,5 @@ let print (r : result) =
   Printf.printf
     "  baseline vs BGP resilience for pairs with optimum <=15 links: %.2fx (paper: >2x)\n"
     (base_mean /. bgp_mean)
+
+let exit_code _ = 0

@@ -83,3 +83,6 @@ val print : result -> unit
 (** Fig. 6a: mean achieved resilience grouped by optimal min-cut, plus
     the pair-count CDF. Fig. 6b: capacity CDFs and the fraction-of-
     optimum headline (Q2), plus the Q1 baseline-vs-BGP check. *)
+
+val exit_code : result -> int
+(** Always [0]; this scenario has no tolerated-failure budget. *)

@@ -52,3 +52,6 @@ val to_json : result -> Obs_json.t
 val print : result -> unit
 (** One row per algorithm: mean and p95 latency stretch plus absolute
     control-plane overhead. *)
+
+val exit_code : result -> int
+(** Always [0]; this scenario has no tolerated-failure budget. *)

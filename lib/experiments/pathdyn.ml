@@ -1,0 +1,516 @@
+type profile =
+  | P_flapping of { period_s : float; down_fraction : float; n_links : int }
+  | P_stochastic of { mtbf_s : float; mttr_s : float }
+
+type cell_result = {
+  profile : profile;
+  limit : int;
+  trials_ok : int;
+  trials_failed : int;
+  availability_mean : float;
+  availability_min : float;
+  jaccard_mean : float;
+  lifetime : Histogram.summary;
+  survivors : int;
+  link_failures : int;
+  link_repairs : int;
+  pcbs_dropped : int;
+  segments_revoked : int;
+  lookups : int;
+  registrations : int;
+  total_pcbs : int;
+  total_bytes : float;
+}
+
+type result = {
+  scale : Exp_common.scale;
+  rounds : int;
+  pairs : int;
+  failures_allowed : int;
+  cells : cell_result list;
+  report : Run_report.t;
+}
+
+type config = {
+  scale : Exp_common.scale;
+  seed : int64;
+  trials : int;
+  rounds : int;  (** soak horizon in beaconing rounds *)
+  chunk : int;  (** rounds per supervised work unit *)
+  profiles : profile list;
+  limits : int list;  (** PCB storage limits swept *)
+  register_top : int;
+  beacon : Beaconing.config;
+  sup : Supervise.cli;
+}
+
+let default_profiles =
+  [
+    P_flapping { period_s = 3600.0; down_fraction = 0.25; n_links = 3 };
+    P_stochastic { mtbf_s = 43200.0; mttr_s = 1800.0 };
+  ]
+
+let config ?(seed = 0xFA17L) ?(trials = 1) ?(rounds = 24) ?(chunk = 4)
+    ?(profiles = default_profiles) ?(limits = [ 5; 20 ]) ?(register_top = 3)
+    ?(beacon = Exp_common.beacon_config) ?(sup = Supervise.default_cli) scale =
+  {
+    scale;
+    seed;
+    trials;
+    rounds;
+    chunk;
+    profiles;
+    limits;
+    register_top;
+    beacon;
+    sup;
+  }
+
+let name = "pathdyn"
+
+let doc =
+  "Long-horizon path-dynamics soak under link churn (checkpointable, supervised)"
+
+let config_of_cli (c : Scenario.cli) = config ?seed:c.seed ~sup:c.sup c.scale
+
+let profile_kind = function
+  | P_flapping _ -> "flapping"
+  | P_stochastic _ -> "stochastic"
+
+let profile_name = function
+  | P_flapping f ->
+      Printf.sprintf "flapping %gs/%.0f%%/%d" f.period_s
+        (f.down_fraction *. 100.0)
+        f.n_links
+  | P_stochastic s -> Printf.sprintf "mtbf %gs mttr %gs" s.mtbf_s s.mttr_s
+
+(* Distinct flapping sites, drawn deterministically from the plan seed. *)
+let pick_links rng ~num ~count =
+  let count = min count num in
+  let chosen = ref [] in
+  while List.length !chosen < count do
+    let l = Rng.int rng num in
+    if not (List.mem l !chosen) then chosen := l :: !chosen
+  done;
+  List.rev !chosen
+
+let plan_of_profile ~graph ~interval ~duration ~seed = function
+  | P_stochastic { mtbf_s; mttr_s } ->
+      Fault_plan.plan ~seed
+        [
+          Fault_plan.Stochastic
+            { mtbf = mtbf_s; mttr = mttr_s; start = interval; until = duration };
+        ]
+  | P_flapping { period_s; down_fraction; n_links } ->
+      let rng = Rng.create seed in
+      let links = pick_links rng ~num:(Graph.num_links graph) ~count:n_links in
+      Fault_plan.plan ~seed
+        (List.map
+           (fun link ->
+             Fault_plan.Flapping
+               { link; at = interval; period = period_s; down_fraction; until = duration })
+           links)
+
+type task = {
+  cell_idx : int;
+  trial_idx : int;
+  label : string;
+  soak : Soak.config;
+}
+
+let build_tasks cfg ~core ~pairs =
+  let cells =
+    List.concat_map (fun p -> List.map (fun l -> (p, l)) cfg.limits) cfg.profiles
+  in
+  let cells_arr = Array.of_list cells in
+  let interval = cfg.beacon.Beaconing.interval in
+  let duration = float_of_int cfg.rounds *. interval in
+  let tasks =
+    Array.init
+      (Array.length cells_arr * cfg.trials)
+      (fun i ->
+        let cell_idx = i / cfg.trials and trial_idx = i mod cfg.trials in
+        let profile, limit = cells_arr.(cell_idx) in
+        let plan =
+          plan_of_profile ~graph:core ~interval ~duration
+            ~seed:(Runner.job_seed cfg.seed i) profile
+        in
+        {
+          cell_idx;
+          trial_idx;
+          label =
+            Printf.sprintf "%s/L%d/t%d" (profile_kind profile) limit trial_idx;
+          soak =
+            {
+              Soak.graph = core;
+              beacon =
+                {
+                  cfg.beacon with
+                  Beaconing.algorithm = Beacon_policy.Baseline;
+                  Beaconing.storage_limit = limit;
+                  Beaconing.duration;
+                };
+              plan;
+              pairs;
+              register_top = cfg.register_top;
+              metric_labels =
+                [
+                  ("profile", profile_kind profile);
+                  ("limit", string_of_int limit);
+                ];
+            };
+        })
+  in
+  (cells_arr, tasks)
+
+(* --- checkpoint codec -------------------------------------------------- *)
+
+let ckpt_prefix = "pathdyn"
+
+let ckpt_version = 1
+
+(* The schema fingerprints everything a resumed run must agree on: every
+   trial's full soak configuration plus the chunking. A checkpoint from
+   a different scale / seed / horizon is rejected on load. *)
+let schema_of cfg tasks =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "pathdyn/%d/%d;" cfg.rounds cfg.chunk);
+  Array.iter (fun t -> Buffer.add_string b (Soak.config_key t.soak)) tasks;
+  "pathdyn:" ^ Sha256.hex (Sha256.digest (Buffer.contents b))
+
+let w_status w = function
+  | Ok bytes ->
+      Snapshot.w_u8 w 0;
+      Snapshot.w_str w bytes
+  | Error (f : Run_report.failure) ->
+      Snapshot.w_u8 w 1;
+      Snapshot.w_int w f.Run_report.index;
+      Snapshot.w_str w f.Run_report.label;
+      Snapshot.w_opt w Snapshot.w_i64 f.Run_report.seed;
+      Snapshot.w_int w f.Run_report.attempts;
+      Snapshot.w_str w f.Run_report.error;
+      Snapshot.w_str w f.Run_report.backtrace
+
+let r_status r =
+  match Snapshot.r_u8 r with
+  | 0 -> Ok (Snapshot.r_str r)
+  | 1 ->
+      let index = Snapshot.r_int r in
+      let label = Snapshot.r_str r in
+      let seed = Snapshot.r_opt r Snapshot.r_i64 in
+      let attempts = Snapshot.r_int r in
+      let error = Snapshot.r_str r in
+      let backtrace = Snapshot.r_str r in
+      Error { Run_report.index; label; seed; attempts; error; backtrace }
+  | t -> raise (Snapshot.Corrupt (Printf.sprintf "pathdyn: bad status tag %d" t))
+
+let encode_progress ~rounds_done statuses =
+  let w = Snapshot.writer () in
+  Snapshot.w_int w rounds_done;
+  Snapshot.w_arr w w_status statuses;
+  Snapshot.contents w
+
+let decode_progress ~n_tasks data =
+  let r = Snapshot.reader data in
+  let rounds_done = Snapshot.r_int r in
+  let statuses = Snapshot.r_arr r r_status in
+  Snapshot.r_end r;
+  if Array.length statuses <> n_tasks then
+    raise (Snapshot.Corrupt "pathdyn checkpoint: trial count mismatch");
+  (rounds_done, statuses)
+
+(* --- execution --------------------------------------------------------- *)
+
+let run ?(obs = Obs.disabled) ?(jobs = 1) cfg =
+  if cfg.rounds <= 0 then invalid_arg "Pathdyn.run: rounds <= 0";
+  if cfg.chunk <= 0 then invalid_arg "Pathdyn.run: chunk <= 0";
+  (* No Obs.phase anywhere on this path: phase timers are wall-clock, and
+     the CI resume smoke compares --metrics-out byte-for-byte. *)
+  let prepared = Exp_common.prepare cfg.scale in
+  let core = prepared.Exp_common.core in
+  let d = Exp_common.dimensions cfg.scale in
+  let pairs =
+    Exp_common.sample_pairs core ~count:d.Exp_common.sample_pairs ~seed:0xFA12L
+  in
+  let cells_arr, tasks = build_tasks cfg ~core ~pairs in
+  let n_tasks = Array.length tasks in
+  let schema = schema_of cfg tasks in
+  let sup = cfg.sup in
+  (* Start fresh at round 0 — or, with --resume, from the newest
+     compatible checkpoint in the checkpoint directory. *)
+  let start_round, statuses =
+    let fresh () =
+      (0, Array.map (fun t -> Ok (Soak.encode (Soak.create t.soak))) tasks)
+    in
+    match sup.Supervise.checkpoint_dir with
+    | Some dir when sup.Supervise.resume -> (
+        match Checkpoint.latest ~dir ~prefix:ckpt_prefix with
+        | None -> fresh ()
+        | Some (_, file) ->
+            let payload =
+              Checkpoint.load ~dir ~name:file ~schema ~version:ckpt_version
+            in
+            let rounds_done, statuses = decode_progress ~n_tasks payload in
+            Printf.eprintf "pathdyn: resumed from %s (round %d)\n%!" file
+              rounds_done;
+            (rounds_done, statuses))
+    | _ -> fresh ()
+  in
+  let statuses = Array.copy statuses in
+  let policy = Supervise.policy_of_cli sup in
+  let ckpts_written = ref 0 in
+  let last_ckpt = ref start_round in
+  let rounds_done = ref start_round in
+  while !rounds_done < cfg.rounds do
+    let upto = min cfg.rounds (!rounds_done + cfg.chunk) in
+    let alive =
+      Array.of_list
+        (List.filter
+           (fun i -> Result.is_ok statuses.(i))
+           (List.init n_tasks Fun.id))
+    in
+    let inputs =
+      Array.map (fun i -> (i, Result.get_ok statuses.(i))) alive
+    in
+    (* Jobs advance a *decoded copy* of the trial snapshot and hand back
+       fresh bytes, so a crashed or timed-out attempt can never leak
+       partial progress: every retry replays from the same snapshot.
+       Deliberately unobserved — per-chunk supervision counters would
+       differ between an uninterrupted run and a resumed one. *)
+    let results, _chunk_report =
+      Supervise.map ~policy
+        ~label_of:(fun j -> tasks.(alive.(j)).label)
+        ~jobs
+        ~base_seed:(Runner.job_seed cfg.seed (cfg.rounds + !rounds_done))
+        (fun ~obs:_ ~seed:_ ~watchdog (i, bytes) ->
+          (match sup.Supervise.inject_fail with
+          | Some k when k = i ->
+              failwith (Printf.sprintf "injected failure (--inject-fail %d)" i)
+          | _ -> ());
+          let t = Soak.restore tasks.(i).soak bytes in
+          Soak.advance ~watchdog t ~upto;
+          Soak.encode t)
+        inputs
+    in
+    Array.iteri
+      (fun j r ->
+        let i = alive.(j) in
+        match r with
+        | Ok bytes -> statuses.(i) <- Ok bytes
+        | Error f -> statuses.(i) <- Error { f with Run_report.index = i })
+      results;
+    rounds_done := upto;
+    match sup.Supervise.checkpoint_dir with
+    | Some dir
+      when sup.Supervise.checkpoint_every > 0
+           && (upto - !last_ckpt >= sup.Supervise.checkpoint_every
+              || upto = cfg.rounds) ->
+        (* Consistency gate before anything hits disk. *)
+        Array.iteri
+          (fun i status ->
+            match status with
+            | Error _ -> ()
+            | Ok bytes ->
+                Invariants.check_exn
+                  (Soak.invariant_ctx (Soak.restore tasks.(i).soak bytes)))
+          statuses;
+        ignore
+          (Checkpoint.save ~dir
+             ~name:(Checkpoint.numbered_name ~prefix:ckpt_prefix ~n:upto)
+             ~schema ~version:ckpt_version
+             (encode_progress ~rounds_done:upto statuses));
+        last_ckpt := upto;
+        incr ckpts_written;
+        (match sup.Supervise.kill_after with
+        | Some k when !ckpts_written >= k ->
+            raise (Supervise.Killed { checkpoints = !ckpts_written })
+        | _ -> ())
+    | _ -> ()
+  done;
+  (* Aggregate the surviving trials per cell; failed trials are excluded
+     from the statistics and surface in the run report instead. *)
+  let cell_results =
+    List.mapi
+      (fun cell_idx (profile, limit) ->
+        let labels =
+          [ ("profile", profile_kind profile); ("limit", string_of_int limit) ]
+        in
+        let cell_reg = Registry.create () in
+        let ok = ref 0 and failed = ref 0 in
+        let avail_sum = ref 0.0
+        and avail_min = ref 1.0
+        and jacc_sum = ref 0.0
+        and survivors = ref 0
+        and link_failures = ref 0
+        and link_repairs = ref 0
+        and pcbs_dropped = ref 0
+        and segments_revoked = ref 0
+        and lookups = ref 0
+        and registrations = ref 0
+        and total_pcbs = ref 0
+        and total_bytes = ref 0.0 in
+        Array.iteri
+          (fun i task ->
+            if task.cell_idx = cell_idx then
+              match statuses.(i) with
+              | Error _ -> incr failed
+              | Ok bytes ->
+                  incr ok;
+                  let t = Soak.restore task.soak bytes in
+                  let r = Soak.report t in
+                  Registry.merge ~into:cell_reg (Soak.registry t);
+                  avail_sum := !avail_sum +. r.Soak.availability_mean;
+                  avail_min := Float.min !avail_min r.Soak.availability_min;
+                  jacc_sum := !jacc_sum +. r.Soak.jaccard_overall;
+                  survivors := !survivors + r.Soak.survivors;
+                  link_failures := !link_failures + r.Soak.link_failures;
+                  link_repairs := !link_repairs + r.Soak.link_repairs;
+                  pcbs_dropped := !pcbs_dropped + r.Soak.pcbs_dropped;
+                  segments_revoked := !segments_revoked + r.Soak.segments_revoked;
+                  lookups :=
+                    !lookups + r.Soak.ps_stats.Path_server.lookups_core
+                    + r.Soak.ps_stats.Path_server.lookups_down;
+                  registrations :=
+                    !registrations + r.Soak.ps_stats.Path_server.registrations;
+                  total_pcbs := !total_pcbs + r.Soak.total_pcbs;
+                  total_bytes := !total_bytes +. r.Soak.total_bytes)
+          tasks;
+        let lifetime =
+          Histogram.summarize
+            (Registry.histogram cell_reg ~labels "soak_path_lifetime_rounds")
+        in
+        if Obs.on obs then Registry.merge ~into:(Obs.registry obs) cell_reg;
+        let per_ok v = if !ok = 0 then 0.0 else v /. float_of_int !ok in
+        {
+          profile;
+          limit;
+          trials_ok = !ok;
+          trials_failed = !failed;
+          availability_mean = per_ok !avail_sum;
+          availability_min = (if !ok = 0 then 0.0 else !avail_min);
+          jaccard_mean = per_ok !jacc_sum;
+          lifetime;
+          survivors = !survivors;
+          link_failures = !link_failures;
+          link_repairs = !link_repairs;
+          pcbs_dropped = !pcbs_dropped;
+          segments_revoked = !segments_revoked;
+          lookups = !lookups;
+          registrations = !registrations;
+          total_pcbs = !total_pcbs;
+          total_bytes = !total_bytes;
+        })
+      (Array.to_list cells_arr)
+  in
+  let report =
+    Run_report.make ~jobs:n_tasks
+      (Array.to_list statuses
+      |> List.filter_map (function Ok _ -> None | Error f -> Some f))
+  in
+  if Obs.on obs then Run_report.observe obs report;
+  {
+    scale = cfg.scale;
+    rounds = cfg.rounds;
+    pairs = Array.length pairs;
+    failures_allowed = sup.Supervise.max_failures;
+    cells = cell_results;
+    report;
+  }
+
+let exit_code r =
+  if Run_report.n_failed r.report > r.failures_allowed then 1 else 0
+
+(* --- rendering --------------------------------------------------------- *)
+
+let to_json (r : result) =
+  Obs_json.Obj
+    [
+      ("experiment", Obs_json.String name);
+      ("scale", Obs_json.String (Exp_common.scale_to_string r.scale));
+      ("rounds", Obs_json.Int r.rounds);
+      ("pairs", Obs_json.Int r.pairs);
+      ( "cells",
+        Obs_json.List
+          (List.map
+             (fun c ->
+               Obs_json.Obj
+                 [
+                   ("profile", Obs_json.String (profile_name c.profile));
+                   ("storage_limit", Obs_json.Int c.limit);
+                   ("trials_ok", Obs_json.Int c.trials_ok);
+                   ("trials_failed", Obs_json.Int c.trials_failed);
+                   ("availability_mean", Obs_json.Float c.availability_mean);
+                   ("availability_min", Obs_json.Float c.availability_min);
+                   ("jaccard_mean", Obs_json.Float c.jaccard_mean);
+                   ("lifetimes_completed", Obs_json.Int c.lifetime.Histogram.count);
+                   ("lifetime_mean_rounds", Obs_json.Float c.lifetime.Histogram.mean);
+                   ("lifetime_p50_rounds", Obs_json.Float c.lifetime.Histogram.p50);
+                   ("lifetime_p90_rounds", Obs_json.Float c.lifetime.Histogram.p90);
+                   ("survivors", Obs_json.Int c.survivors);
+                   ("link_failures", Obs_json.Int c.link_failures);
+                   ("link_repairs", Obs_json.Int c.link_repairs);
+                   ("pcbs_dropped", Obs_json.Int c.pcbs_dropped);
+                   ("segments_revoked", Obs_json.Int c.segments_revoked);
+                   ("ps_lookups", Obs_json.Int c.lookups);
+                   ("ps_registrations", Obs_json.Int c.registrations);
+                   ("total_pcbs", Obs_json.Int c.total_pcbs);
+                   ("total_bytes", Obs_json.Float c.total_bytes);
+                 ])
+             r.cells) );
+      ("supervision", Run_report.to_json r.report);
+    ]
+
+let print (r : result) =
+  Printf.printf
+    "Path dynamics — long-horizon soak under link churn (scale=%s, %d rounds, %d \
+     tracked pairs)\n\n"
+    (Exp_common.scale_to_string r.scale)
+    r.rounds r.pairs;
+  Table.print
+    ~header:
+      [
+        "fault profile";
+        "limit";
+        "trials";
+        "avail mean";
+        "avail min";
+        "jaccard";
+        "lifetimes";
+        "life p50";
+        "life p90";
+        "alive";
+        "down/up";
+        "dropped";
+        "revoked";
+      ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [
+             profile_name c.profile;
+             string_of_int c.limit;
+             (if c.trials_failed = 0 then string_of_int c.trials_ok
+              else Printf.sprintf "%d (%d failed)" c.trials_ok c.trials_failed);
+             Printf.sprintf "%.3f" c.availability_mean;
+             Printf.sprintf "%.3f" c.availability_min;
+             Printf.sprintf "%.3f" c.jaccard_mean;
+             string_of_int c.lifetime.Histogram.count;
+             Printf.sprintf "%.1f" c.lifetime.Histogram.p50;
+             Printf.sprintf "%.1f" c.lifetime.Histogram.p90;
+             string_of_int c.survivors;
+             Printf.sprintf "%d/%d" c.link_failures c.link_repairs;
+             string_of_int c.pcbs_dropped;
+             string_of_int c.segments_revoked;
+           ])
+         r.cells);
+  print_newline ();
+  print_endline
+    "Availability is the fraction of rounds a pair holds at least one valid path;\n\
+     jaccard is the mean consecutive-round path-set similarity (1.0 = fully\n\
+     static). Lifetimes count completed path lives in beaconing rounds; storage-\n\
+     limited stores lose paths to eviction as well as to revocation, so their\n\
+     path sets churn faster at the same fault plan.";
+  if Run_report.n_failed r.report > 0 then begin
+    print_newline ();
+    Format.printf "%a@." Run_report.pp r.report
+  end

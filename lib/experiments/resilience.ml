@@ -310,3 +310,5 @@ let print (r : result) =
     "Revocation overhead counts SCMP link-failure messages to affected endpoints\n\
      and path servers; 'delivered' is the post-run end-to-end validation pass over\n\
      the surviving topology."
+
+let exit_code _ = 0

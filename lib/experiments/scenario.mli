@@ -18,6 +18,10 @@
 type cli = {
   scale : Exp_common.scale;  (** the shared [--scale] flag *)
   seed : int64 option;  (** the shared [--seed] flag, if given *)
+  sup : Supervise.cli;
+      (** the shared supervision flags (checkpointing, resume, retries,
+          failure injection); {!Supervise.default_cli} for scenarios
+          that do not checkpoint *)
 }
 (** The shared command-line inputs the generic driver can offer a
     scenario; {!Cli.config_of_cli} turns them into the scenario's own
@@ -57,4 +61,9 @@ module type Cli = sig
 
   val config_of_cli : cli -> config
   (** Default config from the shared flags. *)
+
+  val exit_code : result -> int
+  (** Process exit code the driver should end with: [0] for a fully
+      successful run. Supervised scenarios return nonzero when more
+      jobs failed than the configured tolerance ([--max-failures]). *)
 end

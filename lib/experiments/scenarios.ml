@@ -6,6 +6,7 @@ let all : (module Scenario.Cli) list =
     (module Scionlab_exp);
     (module Convergence);
     (module Resilience);
+    (module Pathdyn);
     (module Latency_exp);
     (module Tuning);
   ]

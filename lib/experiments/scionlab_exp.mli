@@ -48,3 +48,6 @@ val print : result -> unit
 (** Figures 7/8 CDFs, the diversity-vs-measurement fractions, and the
     Fig. 9 bandwidth distribution summarised through {!Histogram}
     (p50/p90/p99 and the fraction of interfaces below 4 KB/s). *)
+
+val exit_code : result -> int
+(** Always [0]; this scenario has no tolerated-failure budget. *)

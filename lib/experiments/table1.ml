@@ -271,3 +271,5 @@ let print (r : result) =
              (fun m ->
                [ m.component; Printf.sprintf "%.0f" m.messages; Printf.sprintf "%.3g" m.bytes ])
              rows)
+
+let exit_code _ = 0

@@ -67,3 +67,6 @@ val to_json : result -> Obs_json.t
 val print : result -> unit
 (** The check-mark table, followed by the measured per-component
     traffic when present. *)
+
+val exit_code : result -> int
+(** Always [0]; this scenario has no tolerated-failure budget. *)

@@ -174,3 +174,5 @@ let print (r : result) =
     p.Beacon_policy.threshold p.Beacon_policy.gm_max;
   Printf.printf "connectivity=%.3f capacity=%.3f overhead=%.3g bytes score=%.3f\n"
     r.best.connectivity r.best.capacity_fraction r.best.overhead_bytes r.best.score
+
+let exit_code _ = 0

@@ -65,3 +65,6 @@ val to_json : result -> Obs_json.t
 
 val print : result -> unit
 (** The winning parameters and their objective, as two summary lines. *)
+
+val exit_code : result -> int
+(** Always [0]; this scenario has no tolerated-failure budget. *)

@@ -1,9 +1,10 @@
-let install ~des ~state ~on_down ~on_up events =
+let install ?on_event ~des ~state ~on_down ~on_up events =
   Array.iter
     (fun (e : Fault_plan.event) ->
       let time = Float.max e.Fault_plan.time (Des.now des) in
       Des.schedule_at des ~time (fun des ->
           let now = Des.now des in
+          (match on_event with None -> () | Some f -> f ());
           match
             Link_state.apply state ~now ~link:e.Fault_plan.link
               ~action:e.Fault_plan.action

@@ -8,6 +8,7 @@
     time, in plan order. *)
 
 val install :
+  ?on_event:(unit -> unit) ->
   des:Des.t ->
   state:Link_state.t ->
   on_down:(now:float -> link:int -> unit) ->
@@ -16,4 +17,10 @@ val install :
   int
 (** Schedule all events; returns how many were installed. The caller
     drives the clock ([Des.run ~until] between beaconing rounds, a
-    final drain afterwards) — the driver never advances it. *)
+    final drain afterwards) — the driver never advances it.
+
+    [on_event] fires right before each event is folded, in plan order
+    (events fire in time order and ties preserve plan order through the
+    engine's FIFO). Checkpointing uses it as an event cursor: a resumed
+    run re-installs only [Array.sub events cursor (n - cursor)] over
+    the restored {!Link_state}. *)

@@ -32,3 +32,16 @@ let down_links t =
     if t.holds.(l) > 0 then acc := l :: !acc
   done;
   !acc
+
+let n_links t = Array.length t.holds
+
+let holds t l = t.holds.(l)
+
+type dump = { d_holds : int array; d_since : float array }
+
+let dump t = { d_holds = Array.copy t.holds; d_since = Array.copy t.since }
+
+let of_dump d =
+  if Array.length d.d_holds <> Array.length d.d_since then
+    invalid_arg "Link_state.of_dump: array length mismatch";
+  { holds = Array.copy d.d_holds; since = Array.copy d.d_since }

@@ -26,3 +26,19 @@ val down_since : t -> int -> float option
 
 val down_links : t -> int list
 (** Currently-down links in ascending id order. *)
+
+val n_links : t -> int
+
+val holds : t -> int -> int
+(** Raw hold count of a link (0 = up). Exposed for invariant checks. *)
+
+(** {1 Checkpointing} *)
+
+type dump = { d_holds : int array; d_since : float array }
+
+val dump : t -> dump
+(** Copies of the internal arrays. *)
+
+val of_dump : dump -> t
+(** Rebuild from a dump (copying); raises [Invalid_argument] if the
+    arrays differ in length. *)

@@ -124,6 +124,37 @@ let reset t =
   t.nonpos <- 0;
   Hashtbl.reset t.buckets
 
+type dump = {
+  d_growth : float;
+  d_count : int;
+  d_sum : float;
+  d_vmin : float;
+  d_vmax : float;
+  d_nonpos : int;
+  d_buckets : (int * int) list;
+}
+
+let dump t =
+  {
+    d_growth = t.growth;
+    d_count = t.count;
+    d_sum = t.sum;
+    d_vmin = t.vmin;
+    d_vmax = t.vmax;
+    d_nonpos = t.nonpos;
+    d_buckets = sorted_buckets t;
+  }
+
+let of_dump d =
+  let t = create ~growth:d.d_growth () in
+  t.count <- d.d_count;
+  t.sum <- d.d_sum;
+  t.vmin <- d.d_vmin;
+  t.vmax <- d.d_vmax;
+  t.nonpos <- d.d_nonpos;
+  List.iter (fun (i, c) -> Hashtbl.replace t.buckets i (ref c)) d.d_buckets;
+  t
+
 type summary = {
   count : int;
   sum : float;

@@ -58,6 +58,27 @@ val merge : into:t -> t -> unit
 val reset : t -> unit
 (** Drop every observation; bucket configuration is kept. *)
 
+(** {1 Checkpointing} *)
+
+type dump = {
+  d_growth : float;
+  d_count : int;
+  d_sum : float;
+  d_vmin : float;
+  d_vmax : float;
+  d_nonpos : int;
+  d_buckets : (int * int) list;  (** occupied buckets, sorted by index *)
+}
+(** Complete, canonical value of a histogram: two histograms with the
+    same observations dump equal values regardless of internal
+    hash-table layout. *)
+
+val dump : t -> dump
+
+val of_dump : dump -> t
+(** Inverse of {!dump}: the rebuilt histogram answers every query
+    identically and [dump (of_dump d) = d]. *)
+
 type summary = {
   count : int;
   sum : float;

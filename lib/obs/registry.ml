@@ -192,6 +192,40 @@ let to_csv t =
     (snapshot t);
   Buffer.contents buf
 
+type metric_dump =
+  | D_counter of float
+  | D_gauge of float
+  | D_hist of Histogram.dump
+
+type dump = (string * labels * metric_dump) list
+
+let dump t =
+  Hashtbl.fold
+    (fun (name, labels) m acc ->
+      let d =
+        match m with
+        | M_counter r -> D_counter !r
+        | M_gauge r -> D_gauge !r
+        | M_hist h -> D_hist (Histogram.dump h)
+      in
+      (name, labels, d) :: acc)
+    t.tbl []
+  |> List.sort (fun (n, l, _) (n', l', _) -> compare (n, l) (n', l'))
+
+let of_dump d =
+  let t = create () in
+  List.iter
+    (fun (name, labels, m) ->
+      let m =
+        match m with
+        | D_counter v -> M_counter (ref v)
+        | D_gauge v -> M_gauge (ref v)
+        | D_hist h -> M_hist (Histogram.of_dump h)
+      in
+      Hashtbl.replace t.tbl (name, norm labels) m)
+    d;
+  t
+
 let merge ~into src =
   Hashtbl.iter
     (fun (name, labels) m ->

@@ -77,6 +77,23 @@ val to_csv : t -> string
 val labels_to_string : labels -> string
 (** [k1=v1;k2=v2] rendering used in CSV and trace output. *)
 
+(** {1 Checkpointing} *)
+
+type metric_dump =
+  | D_counter of float
+  | D_gauge of float
+  | D_hist of Histogram.dump
+
+type dump = (string * labels * metric_dump) list
+(** Complete registry contents, sorted by (name, labels) with labels
+    normalised — a canonical value independent of hash-table layout,
+    suitable for binary snapshots. *)
+
+val dump : t -> dump
+
+val of_dump : dump -> t
+(** Rebuild a registry from a dump; [dump (of_dump d) = d]. *)
+
 val merge : into:t -> t -> unit
 (** Accumulate every series of the source registry into [into],
     creating missing series as needed: counters are summed, histograms

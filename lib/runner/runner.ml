@@ -2,16 +2,22 @@ exception
   Job_failed of {
     index : int;
     label : string;
+    seed : int64 option;
     backtrace : string;
     exn : exn;
   }
 
 let () =
   Printexc.register_printer (function
-    | Job_failed { index; label; exn; _ } ->
+    | Job_failed { index; label; seed; exn; _ } ->
+        let seed_part =
+          match seed with
+          | None -> ""
+          | Some s -> Printf.sprintf " seed %Ld" s
+        in
         Some
-          (Printf.sprintf "Runner.Job_failed(job %d %S: %s)" index label
-             (Printexc.to_string exn))
+          (Printf.sprintf "Runner.Job_failed(job %d %S%s: %s)" index label
+             seed_part (Printexc.to_string exn))
     | _ -> None)
 
 type job = unit -> unit
@@ -143,7 +149,23 @@ let await fut =
   | Ok v -> v
   | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt
 
-let map_jobs_on pool f arr =
+(* Golden-ratio stepping plus the SplitMix64 finalizer (via Rng): jobs
+   get well-separated, statistically independent streams for any base. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let job_seed base i =
+  Rng.int64 (Rng.create (Int64.add base (Int64.mul golden_gamma (Int64.of_int i))))
+
+let fail ?base_seed ?label_of index exn bt =
+  let label =
+    match label_of with Some f -> f index | None -> string_of_int index
+  in
+  let seed = Option.map (fun base -> job_seed base index) base_seed in
+  raise
+    (Job_failed
+       { index; label; seed; backtrace = Printexc.raw_backtrace_to_string bt; exn })
+
+let map_jobs_on ?base_seed ?label_of pool f arr =
   let futs =
     Array.mapi (fun i x -> submit pool ~label:(string_of_int i) (fun () -> f x)) arr
   in
@@ -155,39 +177,35 @@ let map_jobs_on pool f arr =
     (fun index r ->
       match r with
       | Ok v -> v
-      | Error (exn, bt) ->
-          raise
-            (Job_failed
-               {
-                 index;
-                 label = string_of_int index;
-                 backtrace = Printexc.raw_backtrace_to_string bt;
-                 exn;
-               }))
+      | Error (exn, bt) -> fail ?base_seed ?label_of index exn bt)
     results
 
-let map_jobs ?pool ~jobs f arr =
+let map_jobs ?pool ?base_seed ?label_of ~jobs f arr =
   let n = Array.length arr in
-  if jobs <= 1 || n <= 1 then Array.map f arr
+  if jobs <= 1 || n <= 1 then
+    (* Sequential path: same code path as Array.map, but failures still
+       carry their job context so a crash is reproducible standalone. *)
+    Array.mapi
+      (fun i x ->
+        match f x with
+        | v -> v
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            fail ?base_seed ?label_of i exn bt)
+      arr
   else
     match pool with
-    | Some pool -> map_jobs_on pool f arr
+    | Some pool -> map_jobs_on ?base_seed ?label_of pool f arr
     | None ->
         (* The caller helps through the awaits, so [jobs - 1] workers
            give [jobs]-way parallelism. *)
         with_pool ~domains:(min (jobs - 1) (n - 1)) (fun pool ->
-            map_jobs_on pool f arr)
+            map_jobs_on ?base_seed ?label_of pool f arr)
 
-(* Golden-ratio stepping plus the SplitMix64 finalizer (via Rng): jobs
-   get well-separated, statistically independent streams for any base. *)
-let golden_gamma = 0x9E3779B97F4A7C15L
-
-let job_seed base i =
-  Rng.int64 (Rng.create (Int64.add base (Int64.mul golden_gamma (Int64.of_int i))))
-
-let map_jobs_obs ?(obs = Obs.disabled) ?pool ~jobs f arr =
+let map_jobs_obs ?(obs = Obs.disabled) ?pool ?base_seed ?label_of ~jobs f arr =
   let n = Array.length arr in
-  if jobs <= 1 || n <= 1 then Array.map (fun x -> f ~obs x) arr
+  if jobs <= 1 || n <= 1 then
+    map_jobs ?base_seed ?label_of ~jobs:1 (fun x -> f ~obs x) arr
   else begin
     let children = Array.map (fun _ -> Obs.fork obs) arr in
     (* Merge in input order even if a job failed, so the metrics of the
@@ -195,6 +213,7 @@ let map_jobs_obs ?(obs = Obs.disabled) ?pool ~jobs f arr =
     Fun.protect
       ~finally:(fun () -> Array.iter (fun child -> Obs.merge ~into:obs child) children)
       (fun () ->
-        map_jobs ?pool ~jobs (fun (i, x) -> f ~obs:children.(i) x)
+        map_jobs ?pool ?base_seed ?label_of ~jobs
+          (fun (i, x) -> f ~obs:children.(i) x)
           (Array.mapi (fun i x -> (i, x)) arr))
   end

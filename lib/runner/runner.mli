@@ -32,7 +32,10 @@
 exception
   Job_failed of {
     index : int;  (** input position of the failing job *)
-    label : string;  (** job label given at submission *)
+    label : string;  (** job label (the index unless [label_of] was given) *)
+    seed : int64 option;
+        (** the job's {!job_seed} when [base_seed] was given, so the
+            failing job can be re-run standalone *)
     backtrace : string;  (** backtrace captured on the worker domain *)
     exn : exn;  (** the original exception *)
   }
@@ -73,19 +76,29 @@ val await : 'a future -> 'a
     submit/await safe). Re-raises the job's exception (with its
     original backtrace) if it failed. *)
 
-val map_jobs : ?pool:t -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_jobs :
+  ?pool:t ->
+  ?base_seed:int64 ->
+  ?label_of:(int -> string) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map_jobs ~jobs f arr] applies [f] to every element, running up to
     [jobs] applications concurrently, and returns the results in input
-    order. With [jobs <= 1] (or fewer than two elements) this is
-    exactly [Array.map f arr] on the calling domain. With [pool] the
-    jobs run on the given pool (whose worker count then bounds the
+    order. With [jobs <= 1] (or fewer than two elements) the
+    applications run sequentially on the calling domain. With [pool]
+    the jobs run on the given pool (whose worker count then bounds the
     parallelism); otherwise a transient pool of [jobs - 1] workers is
     created — the caller participates as the [jobs]-th worker through
     helping {!await}s — and shut down before returning.
 
     If any job raises, the remaining jobs still run to completion (the
     barrier is unconditional), and then the failure with the {e
-    smallest input index} is re-raised as {!Job_failed}. *)
+    smallest input index} is re-raised as {!Job_failed}. [base_seed]
+    stamps the failure with [job_seed base_seed index]; [label_of]
+    supplies a human-readable label per index. Both affect only error
+    reporting, never the computation. *)
 
 val job_seed : int64 -> int -> int64
 (** [job_seed base i] is a SplitMix64-derived seed for job [i]:
@@ -96,6 +109,8 @@ val job_seed : int64 -> int -> int64
 val map_jobs_obs :
   ?obs:Obs.t ->
   ?pool:t ->
+  ?base_seed:int64 ->
+  ?label_of:(int -> string) ->
   jobs:int ->
   (obs:Obs.t -> 'a -> 'b) ->
   'a array ->

@@ -99,9 +99,13 @@ let lookup table ~now idx =
   match Hashtbl.find_opt table idx with
   | None -> []
   | Some b ->
+      (* Sorted by segment key so replies are a pure function of the
+         registered set, not of hash-table layout. *)
       Hashtbl.fold
-        (fun _ s acc -> if Segment.is_valid s ~now then s :: acc else acc)
+        (fun key s acc -> if Segment.is_valid s ~now then (key, s) :: acc else acc)
         b []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map snd
 
 let observe_lookup t ~now ~kind ~idx ~hit ~c_hits ~c_misses ~n_segs =
   let c = if hit then c_hits else c_misses in
@@ -190,3 +194,53 @@ let stats t =
 let total_segments t =
   let count table = Hashtbl.fold (fun _ b acc -> acc + Hashtbl.length b) table 0 in
   count t.down + count t.core
+
+type dump = {
+  d_per_leaf_limit : int;
+  d_down : (int * Segment.t list) list;
+  d_core : (int * Segment.t list) list;
+  d_stats : stats;
+}
+
+let dump_table table =
+  Hashtbl.fold
+    (fun idx b acc ->
+      let segs =
+        Hashtbl.fold (fun key s acc -> (key, s) :: acc) b []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.map snd
+      in
+      if segs = [] then acc else (idx, segs) :: acc)
+    table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let dump t =
+  {
+    d_per_leaf_limit = t.per_leaf_limit;
+    d_down = dump_table t.down;
+    d_core = dump_table t.core;
+    d_stats = stats t;
+  }
+
+let of_dump ?obs d =
+  let t = create ?obs ~per_leaf_limit:d.d_per_leaf_limit () in
+  (* Write the buckets directly: going through [register] would bump
+     registration stats and obs counters a second time. *)
+  let fill table entries =
+    List.iter
+      (fun (idx, segs) ->
+        let b = bucket table idx in
+        List.iter (fun s -> Hashtbl.replace b (seg_key s) s) segs)
+      entries
+  in
+  fill t.down d.d_down;
+  fill t.core d.d_core;
+  t.registrations <- d.d_stats.registrations;
+  t.registration_bytes <- d.d_stats.registration_bytes;
+  t.lookups_down <- d.d_stats.lookups_down;
+  t.lookups_core <- d.d_stats.lookups_core;
+  t.reply_segments_down <- d.d_stats.reply_segments_down;
+  t.reply_segments_core <- d.d_stats.reply_segments_core;
+  t.revocations <- d.d_stats.revocations;
+  t.revoked_segments <- d.d_stats.revoked_segments;
+  t

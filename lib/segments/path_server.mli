@@ -29,10 +29,13 @@ val register_core : t -> now:float -> Segment.t -> bool
 (** Register a core-path segment under its remote (origin) core AS. *)
 
 val lookup_down : t -> now:float -> leaf:int -> Segment.t list
-(** Valid down-path segments to [leaf]; counts one lookup. *)
+(** Valid down-path segments to [leaf], sorted by segment key (a total
+    order, so replies never depend on internal hash-table layout);
+    counts one lookup. *)
 
 val lookup_core : t -> now:float -> remote:int -> Segment.t list
-(** Valid core-path segments to the remote core AS [remote]. *)
+(** Valid core-path segments to the remote core AS [remote], sorted
+    like {!lookup_down}. *)
 
 val deregister_leaf : t -> leaf:int -> int
 (** Remove every segment registered for [leaf] (path de-registration,
@@ -56,3 +59,24 @@ type stats = {
 val stats : t -> stats
 
 val total_segments : t -> int
+
+(** {1 Checkpointing} *)
+
+type dump = {
+  d_per_leaf_limit : int;
+  d_down : (int * Segment.t list) list;
+      (** (leaf, segments sorted by key), sorted by leaf *)
+  d_core : (int * Segment.t list) list;
+      (** (origin, segments sorted by key), sorted by origin *)
+  d_stats : stats;
+}
+(** Canonical value of the whole server (registry plus counters):
+    equal servers dump equal values regardless of registration order. *)
+
+val dump : t -> dump
+
+val of_dump : ?obs:Obs.t -> dump -> t
+(** Rebuild a server from a dump; [dump (of_dump d) = d]. Restoring
+    does {e not} re-count registrations — stats come back exactly as
+    dumped, and obs counters (of the fresh [obs] context) start at
+    zero. *)

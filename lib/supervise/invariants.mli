@@ -1,0 +1,38 @@
+(** Cross-component consistency checks at checkpoint boundaries.
+
+    Long-horizon runs only stay trustworthy if the state being
+    checkpointed is itself coherent. These checks tie the fault
+    subsystem, beacon stores and path servers together:
+
+    - {e link-state}: hold counts are non-negative and exactly equal an
+      independent replay of the consumed prefix ([events[0..cursor)])
+      of the compiled fault plan;
+    - {e store-links}: every valid stored PCB traverses only links that
+      are currently up (revocation reacted to every failure) and only
+      links that exist in the graph;
+    - {e path-server}: no valid registered segment traverses a down
+      link (registry ↔ revocation consistency), and stats counters are
+      non-negative.
+
+    Checks are pure reads — running them never perturbs the state (or
+    the byte-identity of a checkpointed run). *)
+
+type violation = { check : string; detail : string }
+
+exception Violated of violation list
+
+type ctx = {
+  graph : Graph.t;
+  now : float;  (** validity horizon for "valid PCB / segment" *)
+  links : Link_state.t;
+  stores : Beacon_store.t array;
+  path_server : Path_server.t option;
+  events : Fault_plan.event array;  (** the compiled fault plan *)
+  cursor : int;  (** events consumed so far *)
+}
+
+val check_all : ctx -> violation list
+(** Every violation found, in check order; [[]] means consistent. *)
+
+val check_exn : ctx -> unit
+(** Raise {!Violated} if {!check_all} finds anything. *)

@@ -1,0 +1,112 @@
+(** Deterministic binary snapshot codec.
+
+    A minimal big-endian writer/reader pair plus codecs for every
+    checkpointable simulator component. All component codecs consume
+    the {e canonical} dump forms ({!Beacon_store.dump},
+    {!Path_server.dump}, {!Registry.dump}, …), which are sorted and
+    hash-table-layout-independent — so encoding the same logical state
+    always yields the same bytes, and [encode (decode bytes) = bytes].
+    Floats are serialized as their IEEE-754 bit patterns, making the
+    round-trip exact (including infinities and [nan]).
+
+    The codec is total on reads: malformed input raises {!Corrupt},
+    never an out-of-bounds access or a silently wrong value. *)
+
+exception Corrupt of string
+
+(** {1 Writer} *)
+
+type writer
+
+val writer : unit -> writer
+
+val contents : writer -> string
+
+val w_u8 : writer -> int -> unit
+
+val w_int : writer -> int -> unit
+(** 8-byte big-endian (int63-safe). *)
+
+val w_i64 : writer -> int64 -> unit
+
+val w_f64 : writer -> float -> unit
+(** IEEE-754 bit pattern; exact round-trip. *)
+
+val w_bool : writer -> bool -> unit
+
+val w_str : writer -> string -> unit
+
+val w_raw : writer -> string -> unit
+(** Append bytes with no length prefix (framing headers). *)
+
+val w_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+
+val w_arr : writer -> (writer -> 'a -> unit) -> 'a array -> unit
+
+val w_opt : writer -> (writer -> 'a -> unit) -> 'a option -> unit
+
+(** {1 Reader} *)
+
+type reader
+
+val reader : string -> reader
+
+val r_u8 : reader -> int
+
+val r_int : reader -> int
+
+val r_i64 : reader -> int64
+
+val r_f64 : reader -> float
+
+val r_bool : reader -> bool
+
+val r_str : reader -> string
+
+val r_list : reader -> (reader -> 'a) -> 'a list
+
+val r_arr : reader -> (reader -> 'a) -> 'a array
+
+val r_opt : reader -> (reader -> 'a) -> 'a option
+
+val r_end : reader -> unit
+(** Raises {!Corrupt} unless the input is fully consumed. *)
+
+(** {1 Component codecs} *)
+
+val w_rng : writer -> Rng.t -> unit
+
+val r_rng : reader -> Rng.t
+
+val w_pcb : writer -> Pcb.t -> unit
+(** Via {!Pcb_codec}; the decoded PCB rebuilds its derived key. *)
+
+val r_pcb : reader -> Pcb.t
+
+val w_segment : writer -> Segment.t -> unit
+
+val r_segment : reader -> Segment.t
+
+val w_histogram : writer -> Histogram.dump -> unit
+
+val r_histogram : reader -> Histogram.dump
+
+val w_registry : writer -> Registry.dump -> unit
+
+val r_registry : reader -> Registry.dump
+
+val w_beacon_store : writer -> Beacon_store.dump -> unit
+
+val r_beacon_store : reader -> Beacon_store.dump
+
+val w_path_server : writer -> Path_server.dump -> unit
+
+val r_path_server : reader -> Path_server.dump
+
+val w_link_state : writer -> Link_state.dump -> unit
+
+val r_link_state : reader -> Link_state.dump
+
+val w_beacon_stats : writer -> Beaconing.stats -> unit
+
+val r_beacon_stats : reader -> Beaconing.stats

@@ -1,0 +1,83 @@
+type policy = { retries : int; watchdog_s : float option }
+
+let default_policy = { retries = 1; watchdog_s = None }
+
+exception Killed of { checkpoints : int }
+
+let () =
+  Printexc.register_printer (function
+    | Killed { checkpoints } ->
+        Some
+          (Printf.sprintf
+             "Supervise.Killed(after %d checkpoint%s, as requested by --kill-after)"
+             checkpoints
+             (if checkpoints = 1 then "" else "s"))
+    | _ -> None)
+
+type cli = {
+  checkpoint_every : int;
+  checkpoint_dir : string option;
+  resume : bool;
+  kill_after : int option;
+  max_failures : int;
+  retries : int;
+  watchdog_s : float option;
+  inject_fail : int option;
+}
+
+let default_cli =
+  {
+    checkpoint_every = 0;
+    checkpoint_dir = None;
+    resume = false;
+    kill_after = None;
+    max_failures = 0;
+    retries = 1;
+    watchdog_s = None;
+    inject_fail = None;
+  }
+
+let policy_of_cli c = { retries = c.retries; watchdog_s = c.watchdog_s }
+
+let attempt_seed ~base_seed ~index ~attempt =
+  let s0 = Runner.job_seed base_seed index in
+  if attempt = 0 then s0 else Runner.job_seed s0 attempt
+
+let map ?obs ?pool ?(policy = default_policy) ?label_of ~jobs ~base_seed f arr =
+  let retries = max 0 policy.retries in
+  let label i = match label_of with Some f -> f i | None -> string_of_int i in
+  (* The wrapper returns a [result] instead of raising, so a crashing
+     or timed-out job can never abort the pool: surviving jobs always
+     complete and the failures come back as data. *)
+  let supervised ~obs (i, x) =
+    let rec attempt k =
+      let seed = attempt_seed ~base_seed ~index:i ~attempt:k in
+      let watchdog = Watchdog.start ~label:(label i) policy.watchdog_s in
+      match f ~obs ~seed ~watchdog x with
+      | v -> Ok v
+      | exception exn ->
+          if k < retries then attempt (k + 1)
+          else
+            Error
+              {
+                Run_report.index = i;
+                label = label i;
+                seed = Some (Runner.job_seed base_seed i);
+                attempts = k + 1;
+                error = Printexc.to_string exn;
+                backtrace = Printexc.get_backtrace ();
+              }
+    in
+    attempt 0
+  in
+  let results =
+    Runner.map_jobs_obs ?obs ?pool ~base_seed ?label_of ~jobs supervised
+      (Array.mapi (fun i x -> (i, x)) arr)
+  in
+  let failures =
+    Array.to_list results
+    |> List.filter_map (function Ok _ -> None | Error f -> Some f)
+  in
+  let report = Run_report.make ~jobs:(Array.length arr) failures in
+  (match obs with Some obs -> Run_report.observe obs report | None -> ());
+  (results, report)

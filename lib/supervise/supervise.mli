@@ -1,0 +1,74 @@
+(** Run supervision: crash isolation, retries, graceful degradation.
+
+    {!map} is the supervised mode of {!Runner.map_jobs}: each job runs
+    under a {!Watchdog} deadline and is retried up to [policy.retries]
+    times on any exception (including {!Watchdog.Timeout}), with
+    deterministic per-attempt seeds derived from the same SplitMix64
+    partitioning as {!Runner.job_seed} — so a retried batch is exactly
+    reproducible from [(base_seed, index, attempt)]. A job that
+    exhausts its retries does {e not} abort the pool: the surviving
+    jobs complete and the failure is reported as data in a
+    {!Run_report}.
+
+    The other half of supervision — deterministic checkpoint/resume —
+    lives in {!Snapshot}, {!Checkpoint} and {!Soak}; {!cli} carries the
+    flags both halves share. *)
+
+type policy = {
+  retries : int;  (** additional attempts after the first (default 1) *)
+  watchdog_s : float option;  (** per-attempt wall-clock budget *)
+}
+
+val default_policy : policy
+
+exception Killed of { checkpoints : int }
+(** Raised by a checkpointing scenario when its [kill_after] budget is
+    reached: a deterministic stand-in for SIGKILL at a checkpoint
+    boundary, used by the resume tests and CI. The driver maps it to
+    exit code 3 without printing results. *)
+
+type cli = {
+  checkpoint_every : int;  (** rounds between checkpoints; 0 = off *)
+  checkpoint_dir : string option;
+  resume : bool;  (** continue from the latest checkpoint *)
+  kill_after : int option;  (** abort after N checkpoint writes *)
+  max_failures : int;  (** tolerated failed jobs before nonzero exit *)
+  retries : int;
+  watchdog_s : float option;
+  inject_fail : int option;  (** force the job at this index to raise *)
+}
+(** The supervision-related command-line surface, shared by every
+    scenario through {!Scenario.cli}. *)
+
+val default_cli : cli
+(** Checkpointing off, one retry, no watchdog, no injection. *)
+
+val policy_of_cli : cli -> policy
+
+val attempt_seed : base_seed:int64 -> index:int -> attempt:int -> int64
+(** Seed of attempt [attempt] of job [index]: attempt 0 uses
+    [Runner.job_seed base_seed index]; attempt [k > 0] re-derives with
+    [Runner.job_seed (job_seed base_seed index) k]. Deterministic and
+    collision-free across (index, attempt) pairs. *)
+
+val map :
+  ?obs:Obs.t ->
+  ?pool:Runner.t ->
+  ?policy:policy ->
+  ?label_of:(int -> string) ->
+  jobs:int ->
+  base_seed:int64 ->
+  (obs:Obs.t -> seed:int64 -> watchdog:Watchdog.t -> 'a -> 'b) ->
+  'a array ->
+  ('b, Run_report.failure) result array * Run_report.t
+(** Supervised parallel map. Jobs receive their attempt seed and a
+    running watchdog (which they should {!Watchdog.check} at safe
+    points). Results come back in input order; a failed job yields
+    [Error failure] in its slot instead of poisoning the batch. When
+    [obs] is given, per-job contexts are forked and merged exactly as
+    {!Runner.map_jobs_obs} and the report is {!Run_report.observe}d.
+
+    Determinism: results are independent of [jobs] (given a
+    deterministic [f]); watchdog timeouts are the only wall-clock
+    dependent outcomes and surface only in the report, never as
+    corrupted results. *)

@@ -1,0 +1,35 @@
+exception Timeout of { label : string; budget_s : float; elapsed_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Timeout { label; budget_s; elapsed_s } ->
+        Some
+          (Printf.sprintf "Watchdog.Timeout(%s: %.1f s elapsed, budget %.1f s)"
+             label elapsed_s budget_s)
+    | _ -> None)
+
+type t = {
+  label : string;
+  budget_s : float option;
+  started : float;
+  now : unit -> float;
+}
+
+let start ?(now = Unix.gettimeofday) ?(label = "job") budget_s =
+  (match budget_s with
+  | Some b when not (b > 0.0) ->
+      invalid_arg "Watchdog.start: budget must be positive"
+  | _ -> ());
+  { label; budget_s; started = now (); now }
+
+let elapsed t = t.now () -. t.started
+
+let expired t =
+  match t.budget_s with None -> false | Some b -> elapsed t > b
+
+let check t =
+  match t.budget_s with
+  | None -> ()
+  | Some b ->
+      let e = elapsed t in
+      if e > b then raise (Timeout { label = t.label; budget_s = b; elapsed_s = e })

@@ -6,6 +6,10 @@ let create seed = { state = seed }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let of_state s = { state = s }
+
 (* SplitMix64 output function (Steele, Lea & Flood 2014). *)
 let mix z =
   let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in

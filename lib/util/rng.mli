@@ -14,6 +14,16 @@ val create : int64 -> t
 val copy : t -> t
 (** [copy t] duplicates the state; the copy evolves independently. *)
 
+val state : t -> int64
+(** [state t] is the current internal state word. Together with
+    {!of_state} it makes a generator checkpointable: restoring the
+    state resumes the exact same stream. *)
+
+val of_state : int64 -> t
+(** [of_state s] rebuilds a generator whose next outputs equal those of
+    the generator [state] was read from. [of_state (state t)] is
+    equivalent to [copy t]. *)
+
 val split : t -> t
 (** [split t] derives a statistically independent child generator and
     advances [t]. Used to give each simulated node its own stream. *)

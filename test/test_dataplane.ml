@@ -169,6 +169,75 @@ let test_endpoint_exhaustion () =
   Endpoint.refresh ep;
   Alcotest.(check bool) "refresh restores" true (Endpoint.available_paths ep <> [])
 
+let test_endpoint_failover_retry_counts () =
+  (* The failover retry happens inside a single send: exactly one
+     failover is counted for one revocation, and the follow-up send on
+     the surviving path adds none. *)
+  let g, cs, _ = Lazy.force env in
+  let net = Forwarding.network g (Control_service.keys cs) in
+  let ep = Endpoint.create cs net ~src:4 ~dst:5 in
+  let active = Option.get (Endpoint.active_path ep) in
+  (* Fail a parallel core link the active path actually uses, so the
+     first forward comes back with a Link_failure SCMP. *)
+  let on_core l =
+    List.exists (fun (lk : Graph.link) -> lk.Graph.link_id = l) (Graph.links_between g 0 1)
+  in
+  let to_fail =
+    active.Fwd_path.links |> Array.to_list |> List.find on_core
+  in
+  Forwarding.fail_link net to_fail;
+  check Alcotest.int "fresh endpoint, no failovers" 0 (Endpoint.failovers ep);
+  (match Endpoint.send ep ~now:(now_of cs) () with
+  | Forwarding.Delivered _ -> ()
+  | Forwarding.Dropped _ -> Alcotest.fail "retry must deliver on the sibling link");
+  check Alcotest.int "one revocation, one failover" 1 (Endpoint.failovers ep);
+  (match Endpoint.send ep ~now:(now_of cs) () with
+  | Forwarding.Delivered _ -> ()
+  | Forwarding.Dropped _ -> Alcotest.fail "settled path must keep delivering");
+  check Alcotest.int "no further failovers once settled" 1 (Endpoint.failovers ep);
+  Alcotest.(check bool) "revoked link stays excluded" true
+    (List.for_all
+       (fun p -> not (Fwd_path.contains_link p to_fail))
+       (Endpoint.available_paths ep))
+
+let test_endpoint_all_paths_revoked () =
+  (* Edge case: every path is revoked. The blackout send reports
+     destination-unreachable without counting phantom failovers, and
+     repeating it does not double-count anything. *)
+  let g, cs, _ = Lazy.force env in
+  let net = Forwarding.network g (Control_service.keys cs) in
+  let ep = Endpoint.create cs net ~src:4 ~dst:5 in
+  List.iter
+    (fun (p : Fwd_path.t) ->
+      Array.iter (Endpoint.exclude_link ep) p.Fwd_path.links)
+    (Endpoint.available_paths ep);
+  check Alcotest.int "no usable paths" 0 (List.length (Endpoint.available_paths ep));
+  (match Endpoint.send ep ~now:(now_of cs) () with
+  | Forwarding.Dropped
+      { scmp = Some { Scmp.kind = Scmp.Destination_unreachable; _ }; _ } ->
+      ()
+  | _ -> Alcotest.fail "blackout must report destination-unreachable");
+  check Alcotest.int "revocation-only blackout counts zero failovers" 0
+    (Endpoint.failovers ep);
+  (* A blackout caused by a data-plane failure counts the one failover
+     that discovered it — and only once, however often we retry. *)
+  let ep2 = Endpoint.create cs net ~src:4 ~dst:5 in
+  let access = (List.hd (Graph.links_between g 2 4)).Graph.link_id in
+  Forwarding.fail_link net access;
+  (match Endpoint.send ep2 ~now:(now_of cs) () with
+  | Forwarding.Dropped
+      { scmp = Some { Scmp.kind = Scmp.Destination_unreachable; _ }; _ } ->
+      ()
+  | _ -> Alcotest.fail "expected destination-unreachable");
+  let after_first = Endpoint.failovers ep2 in
+  check Alcotest.int "discovery counted once" 1 after_first;
+  (match Endpoint.send ep2 ~now:(now_of cs) () with
+  | Forwarding.Dropped _ -> ()
+  | Forwarding.Delivered _ -> Alcotest.fail "cannot deliver without the access link");
+  check Alcotest.int "blackout retries do not double-count" after_first
+    (Endpoint.failovers ep2);
+  Forwarding.restore_link net access
+
 let test_scmp_wire_bytes_and_pp () =
   (* wire_bytes is kind-dependent, and pp round-trips every field of
      the message into its rendering. *)
@@ -251,6 +320,8 @@ let suite =
     ("SCMP wire bytes and pp", `Quick, test_scmp_wire_bytes_and_pp);
     ("endpoint failover", `Quick, test_endpoint_failover);
     ("endpoint exhaustion", `Quick, test_endpoint_exhaustion);
+    ("endpoint failover retry counts", `Quick, test_endpoint_failover_retry_counts);
+    ("endpoint all paths revoked", `Quick, test_endpoint_all_paths_revoked);
     ("sig gateway LPM", `Quick, test_sig_gateway_lpm);
     ("sig gateway send", `Quick, test_sig_gateway_send);
     ("sig header grows with path", `Quick, test_sig_header_grows_with_path);

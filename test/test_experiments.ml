@@ -137,8 +137,8 @@ let test_table1_measure () =
     ((get "Endpoint Path Lookup").Table1.messages > 0.0)
 
 let test_scenarios_registry () =
-  check Alcotest.int "eight scenarios" 8 (List.length Scenarios.all);
-  check Alcotest.int "distinct names" 8
+  check Alcotest.int "nine scenarios" 9 (List.length Scenarios.all);
+  check Alcotest.int "distinct names" 9
     (List.length (List.sort_uniq compare Scenarios.names));
   List.iter
     (fun n ->
@@ -153,7 +153,13 @@ let test_scenarios_registry () =
      the shared CLI record and documents itself. *)
   List.iter
     (fun (module S : Scenario.Cli) ->
-      ignore (S.config_of_cli { Scenario.scale = Exp_common.Tiny; seed = None });
+      ignore
+        (S.config_of_cli
+           {
+             Scenario.scale = Exp_common.Tiny;
+             seed = None;
+             sup = Supervise.default_cli;
+           });
       Alcotest.(check bool) (S.name ^ " has doc") true (String.length S.doc > 0))
     Scenarios.all
 

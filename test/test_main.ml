@@ -18,6 +18,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("segments", Test_segments.suite);
       ("faults", Test_faults.suite);
+      ("supervise", Test_supervise.suite);
       ("dataplane", Test_dataplane.suite);
       ("deployment", Test_deployment.suite);
       ("experiments", Test_experiments.suite);

@@ -45,6 +45,34 @@ let test_exception_propagation () =
       check Alcotest.string "original exception" "boom3" msg
   | exception e -> raise e
 
+let test_failure_carries_context () =
+  (* Job_failed records everything needed to re-run the failing job
+     standalone: its label and its job_seed-derived base seed. *)
+  Printexc.record_backtrace true;
+  match
+    Runner.map_jobs ~jobs:2 ~base_seed:9L
+      ~label_of:(Printf.sprintf "trial-%d")
+      (fun i -> if i = 2 then failwith "kaboom" else i)
+      (Array.init 4 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Runner.Job_failed { index; label; seed; backtrace; exn = Failure msg } ->
+      check Alcotest.int "failing index" 2 index;
+      check Alcotest.string "label" "trial-2" label;
+      (match seed with
+      | Some s -> check Alcotest.int64 "seed of the failing job" (Runner.job_seed 9L 2) s
+      | None -> Alcotest.fail "seed must be stamped when base_seed is given");
+      check Alcotest.string "original exception" "kaboom" msg;
+      Alcotest.(check bool) "backtrace captured on the worker" true
+        (String.length backtrace > 0);
+      (* Without base_seed the failure is unstamped. *)
+      (match
+         Runner.map_jobs ~jobs:1 (fun _ -> failwith "x") [| 0 |]
+       with
+      | _ -> Alcotest.fail "expected Job_failed"
+      | exception Runner.Job_failed { seed = None; _ } -> ()
+      | exception Runner.Job_failed _ -> Alcotest.fail "no base_seed, no seed")
+
 let test_pool_reusable_after_failure () =
   Runner.with_pool ~domains:2 (fun pool ->
       (match
@@ -247,6 +275,7 @@ let suite =
     ("map_jobs small inputs", `Quick, test_map_jobs_small_inputs);
     ("map_jobs on shared pool", `Quick, test_map_jobs_on_shared_pool);
     ("exception propagation", `Quick, test_exception_propagation);
+    ("failure carries context", `Quick, test_failure_carries_context);
     ("pool reusable after failure", `Quick, test_pool_reusable_after_failure);
     ("submit/await", `Quick, test_submit_await);
     ("await re-raises", `Quick, test_await_reraises);

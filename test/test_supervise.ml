@@ -1,0 +1,667 @@
+(* Tests for scion_supervise: the snapshot codec (primitives and every
+   component codec), checkpoint framing/corruption/series, the
+   cooperative watchdog, supervised map retry/degradation/determinism,
+   the invariant checker, and byte-identical soak chunking. *)
+
+let check = Alcotest.check
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* Same 4-core ring (plus a chord) as the fault tests: small enough for
+   sub-second beaconing runs, rich enough for multipath churn. *)
+let ring () =
+  let b = Graph.builder () in
+  let c = Array.init 4 (fun i -> Graph.add_as b ~core:true (Id.ia 1 (i + 1))) in
+  Graph.add_link b ~rel:Graph.Core c.(0) c.(1);
+  Graph.add_link b ~rel:Graph.Core c.(1) c.(2);
+  Graph.add_link b ~rel:Graph.Core c.(2) c.(3);
+  Graph.add_link b ~rel:Graph.Core c.(3) c.(0);
+  Graph.add_link b ~rel:Graph.Core c.(0) c.(2);
+  Graph.freeze b
+
+let soak_config ?(seed = 1L) ?(rounds = 12) ?(limit = 5) () =
+  let g = ring () in
+  let interval = 600.0 in
+  let duration = float_of_int rounds *. interval in
+  {
+    Soak.graph = g;
+    beacon =
+      {
+        Beaconing.default_config with
+        Beaconing.algorithm = Beacon_policy.Baseline;
+        interval;
+        duration;
+        storage_limit = limit;
+      };
+    plan =
+      Fault_plan.plan ~seed
+        [
+          Fault_plan.Flapping
+            {
+              link = 0;
+              at = interval;
+              period = 3.0 *. interval;
+              down_fraction = 0.5;
+              until = duration;
+            };
+          Fault_plan.Stochastic
+            { mtbf = 7200.0; mttr = 600.0; start = interval; until = duration };
+        ];
+    pairs = [| (0, 2); (1, 3) |];
+    register_top = 2;
+    metric_labels = [ ("cell", "test") ];
+  }
+
+(* A directory name that is fresh, writable and absent — Checkpoint.save
+   creates it on first use. *)
+let fresh_dir () =
+  let f = Filename.temp_file "scion_ckpt" "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* --- Snapshot: primitives ------------------------------------------- *)
+
+let test_snapshot_primitives () =
+  let w = Snapshot.writer () in
+  List.iter (Snapshot.w_int w) [ 0; 1; -1; max_int; min_int ];
+  Snapshot.w_i64 w 0x0123456789ABCDEFL;
+  List.iter (Snapshot.w_f64 w) [ 1.5; -0.0; infinity; neg_infinity; nan ];
+  Snapshot.w_bool w true;
+  Snapshot.w_bool w false;
+  Snapshot.w_str w "";
+  Snapshot.w_str w "h\x00i\xff";
+  Snapshot.w_list w Snapshot.w_int [ 3; 1; 4 ];
+  Snapshot.w_arr w Snapshot.w_f64 [| 0.5; -2.25 |];
+  Snapshot.w_opt w Snapshot.w_str None;
+  Snapshot.w_opt w Snapshot.w_str (Some "x");
+  let r = Snapshot.reader (Snapshot.contents w) in
+  List.iter
+    (fun v -> check Alcotest.int "int roundtrip" v (Snapshot.r_int r))
+    [ 0; 1; -1; max_int; min_int ];
+  check Alcotest.int64 "i64 roundtrip" 0x0123456789ABCDEFL (Snapshot.r_i64 r);
+  List.iter
+    (fun v ->
+      check Alcotest.int64 "f64 roundtrip is bit-exact" (Int64.bits_of_float v)
+        (Int64.bits_of_float (Snapshot.r_f64 r)))
+    [ 1.5; -0.0; infinity; neg_infinity; nan ];
+  Alcotest.(check bool) "bool true" true (Snapshot.r_bool r);
+  Alcotest.(check bool) "bool false" false (Snapshot.r_bool r);
+  check Alcotest.string "empty string" "" (Snapshot.r_str r);
+  check Alcotest.string "binary string" "h\x00i\xff" (Snapshot.r_str r);
+  check (Alcotest.list Alcotest.int) "list" [ 3; 1; 4 ]
+    (Snapshot.r_list r Snapshot.r_int);
+  check (Alcotest.array (Alcotest.float 0.0)) "array" [| 0.5; -2.25 |]
+    (Snapshot.r_arr r Snapshot.r_f64);
+  Alcotest.(check bool) "none" true (Snapshot.r_opt r Snapshot.r_str = None);
+  Alcotest.(check bool) "some" true (Snapshot.r_opt r Snapshot.r_str = Some "x");
+  Snapshot.r_end r
+
+let test_snapshot_i64_wire_format () =
+  (* Exactly 8 big-endian bytes per word — a regression check for the
+     codec's framing (a wrong stride corrupts every composite codec). *)
+  let w = Snapshot.writer () in
+  Snapshot.w_i64 w 0x0102030405060708L;
+  check Alcotest.string "big-endian bytes" "\x01\x02\x03\x04\x05\x06\x07\x08"
+    (Snapshot.contents w);
+  let w = Snapshot.writer () in
+  Snapshot.w_int w 7;
+  check Alcotest.int "int is 8 bytes" 8 (String.length (Snapshot.contents w))
+
+let test_snapshot_corruption () =
+  let expect_corrupt what f =
+    match f () with
+    | _ -> Alcotest.fail (what ^ ": expected Snapshot.Corrupt")
+    | exception Snapshot.Corrupt _ -> ()
+  in
+  expect_corrupt "truncated int" (fun () ->
+      Snapshot.r_int (Snapshot.reader "\x00\x01"));
+  expect_corrupt "implausible string length" (fun () ->
+      let w = Snapshot.writer () in
+      Snapshot.w_int w 1_000_000;
+      Snapshot.r_str (Snapshot.reader (Snapshot.contents w)));
+  expect_corrupt "negative list length" (fun () ->
+      let w = Snapshot.writer () in
+      Snapshot.w_int w (-1);
+      Snapshot.r_list (Snapshot.reader (Snapshot.contents w)) Snapshot.r_int);
+  expect_corrupt "bad bool tag" (fun () ->
+      let w = Snapshot.writer () in
+      Snapshot.w_u8 w 7;
+      Snapshot.r_bool (Snapshot.reader (Snapshot.contents w)));
+  expect_corrupt "bad option tag" (fun () ->
+      let w = Snapshot.writer () in
+      Snapshot.w_u8 w 9;
+      Snapshot.r_opt (Snapshot.reader (Snapshot.contents w)) Snapshot.r_u8);
+  expect_corrupt "trailing bytes" (fun () ->
+      let w = Snapshot.writer () in
+      Snapshot.w_int w 1;
+      Snapshot.w_int w 2;
+      let r = Snapshot.reader (Snapshot.contents w) in
+      ignore (Snapshot.r_int r);
+      Snapshot.r_end r)
+
+(* --- Snapshot: component codecs ------------------------------------- *)
+
+let test_snapshot_rng () =
+  let rng = Rng.create 99L in
+  for _ = 1 to 5 do
+    ignore (Rng.int rng 1000)
+  done;
+  let w = Snapshot.writer () in
+  Snapshot.w_rng w rng;
+  let rng' = Snapshot.r_rng (Snapshot.reader (Snapshot.contents w)) in
+  check (Alcotest.list Alcotest.int) "restored stream continues identically"
+    (List.init 8 (fun _ -> Rng.int rng 1000))
+    (List.init 8 (fun _ -> Rng.int rng' 1000))
+
+let sample_segment () =
+  let hop link_out =
+    {
+      Segment.as_idx = 1;
+      ingress = 0;
+      egress = 2;
+      link_in = -1;
+      link_out;
+      peers = [| 3; 5 |];
+      expiry = 7200.0;
+      mac = "\x01\xfe\x02";
+    }
+  in
+  {
+    Segment.kind = Segment.Core_seg;
+    origin = 0;
+    leaf = 2;
+    timestamp = 600.0;
+    expiry = 7200.0;
+    hops = [| hop 0; hop 4 |];
+    links = [| 0; 4 |];
+  }
+
+let test_snapshot_segment () =
+  let s = sample_segment () in
+  let w = Snapshot.writer () in
+  Snapshot.w_segment w s;
+  let r = Snapshot.reader (Snapshot.contents w) in
+  let s' = Snapshot.r_segment r in
+  Snapshot.r_end r;
+  Alcotest.(check bool) "segment roundtrips" true (s = s');
+  List.iter
+    (fun kind ->
+      let w = Snapshot.writer () in
+      Snapshot.w_segment w { s with Segment.kind };
+      Alcotest.(check bool) "kind preserved" true
+        ((Snapshot.r_segment (Snapshot.reader (Snapshot.contents w))).Segment.kind
+        = kind))
+    [ Segment.Up; Segment.Down; Segment.Core_seg ]
+
+let test_snapshot_registry () =
+  let reg = Registry.create () in
+  Registry.add reg "c" 2.5;
+  Registry.add reg ~labels:[ ("k", "v"); ("a", "b") ] "c" 7.0;
+  Registry.set reg "g" (-3.0);
+  List.iter (Registry.observe reg "h") [ 0.1; 5.0; -2.0; 40.0 ];
+  let d = Registry.dump reg in
+  let w = Snapshot.writer () in
+  Snapshot.w_registry w d;
+  let r = Snapshot.reader (Snapshot.contents w) in
+  let d' = Snapshot.r_registry r in
+  Snapshot.r_end r;
+  Alcotest.(check bool) "registry dump roundtrips" true (d = d');
+  (* The rebuilt registry re-dumps canonically to the same value. *)
+  Alcotest.(check bool) "of_dump/dump fixpoint" true
+    (Registry.dump (Registry.of_dump d') = d);
+  let s = Histogram.summarize (Registry.histogram (Registry.of_dump d') "h") in
+  check Alcotest.int "histogram observations survive" 4 s.Histogram.count
+
+(* One soak gives real instances of every remaining component: beacon
+   stores filled by dissemination, live link state, a path server with
+   registrations and revocations, and beacon stats. *)
+let soaked =
+  lazy
+    (let cfg = soak_config ~rounds:8 () in
+     let t = Soak.create cfg in
+     Soak.advance t ~upto:8;
+     (cfg, t))
+
+let roundtrip w_f r_f v =
+  let w = Snapshot.writer () in
+  w_f w v;
+  let r = Snapshot.reader (Snapshot.contents w) in
+  let v' = r_f r in
+  Snapshot.r_end r;
+  v'
+
+let test_snapshot_components_from_soak () =
+  let _, t = Lazy.force soaked in
+  let ctx = Soak.invariant_ctx t in
+  (* Beacon stores (at least one must be non-empty after 8 rounds). *)
+  let occupied = ref 0 in
+  Array.iter
+    (fun store ->
+      let d = Beacon_store.dump store in
+      if d.Beacon_store.d_origins <> [] then incr occupied;
+      let d' = roundtrip Snapshot.w_beacon_store Snapshot.r_beacon_store d in
+      Alcotest.(check bool) "beacon store dump roundtrips" true (d = d');
+      Alcotest.(check bool) "of_dump re-dumps equal" true
+        (Beacon_store.dump (Beacon_store.of_dump d') = d))
+    ctx.Invariants.stores;
+  Alcotest.(check bool) "stores hold PCBs" true (!occupied > 0);
+  (* Link state. A never-failed link's d_since is nan, so compare the
+     float array bit-exactly rather than structurally. *)
+  let same_link_dump (a : Link_state.dump) (b : Link_state.dump) =
+    a.Link_state.d_holds = b.Link_state.d_holds
+    && Array.map Int64.bits_of_float a.Link_state.d_since
+       = Array.map Int64.bits_of_float b.Link_state.d_since
+  in
+  let ld = Link_state.dump ctx.Invariants.links in
+  let ld' = roundtrip Snapshot.w_link_state Snapshot.r_link_state ld in
+  Alcotest.(check bool) "link state dump roundtrips" true (same_link_dump ld ld');
+  Alcotest.(check bool) "link state of_dump re-dumps equal" true
+    (same_link_dump (Link_state.dump (Link_state.of_dump ld')) ld);
+  (* Path server (including its stats). *)
+  match ctx.Invariants.path_server with
+  | None -> Alcotest.fail "soak must run a path server"
+  | Some ps ->
+      let pd = Path_server.dump ps in
+      Alcotest.(check bool) "path server saw registrations" true
+        ((Path_server.stats ps).Path_server.registrations > 0);
+      let pd' = roundtrip Snapshot.w_path_server Snapshot.r_path_server pd in
+      Alcotest.(check bool) "path server dump roundtrips" true (pd = pd');
+      Alcotest.(check bool) "path server of_dump re-dumps equal" true
+        (Path_server.dump (Path_server.of_dump pd') = pd)
+
+let test_snapshot_beacon_stats () =
+  let outcome =
+    Beaconing.run (ring ())
+      {
+        Beaconing.default_config with
+        Beaconing.algorithm = Beacon_policy.Baseline;
+        duration = 600.0 *. 4.0;
+      }
+  in
+  let s = outcome.Beaconing.stats in
+  Alcotest.(check bool) "stats have traffic" true (s.Beaconing.total_pcbs > 0);
+  let s' = roundtrip Snapshot.w_beacon_stats Snapshot.r_beacon_stats s in
+  Alcotest.(check bool) "beacon stats roundtrip" true (s = s')
+
+(* --- Checkpoint files ------------------------------------------------ *)
+
+let test_checkpoint_roundtrip_and_corruption () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let payload = "\x00binary\xffpayload" ^ String.make 100 'z' in
+  let path = Checkpoint.save ~dir ~name:"a.ckpt" ~schema:"s1" ~version:2 payload in
+  Alcotest.(check bool) "save returns the file path" true (Sys.file_exists path);
+  check Alcotest.string "load returns the payload" payload
+    (Checkpoint.load ~dir ~name:"a.ckpt" ~schema:"s1" ~version:2);
+  let expect_corrupt what f =
+    match f () with
+    | (_ : string) -> Alcotest.fail (what ^ ": expected Snapshot.Corrupt")
+    | exception Snapshot.Corrupt _ -> ()
+  in
+  expect_corrupt "wrong schema" (fun () ->
+      Checkpoint.load ~dir ~name:"a.ckpt" ~schema:"s2" ~version:2);
+  expect_corrupt "wrong version" (fun () ->
+      Checkpoint.load ~dir ~name:"a.ckpt" ~schema:"s1" ~version:3);
+  (* Flip one payload byte on disk: the digest check must catch it. *)
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let flipped = Bytes.of_string raw in
+  let mid = Bytes.length flipped / 2 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc flipped;
+  close_out oc;
+  expect_corrupt "bit rot" (fun () ->
+      Checkpoint.load ~dir ~name:"a.ckpt" ~schema:"s1" ~version:2);
+  (* A foreign file fails on the magic, a truncated one on framing. *)
+  let oc = open_out_bin (Filename.concat dir "b.ckpt") in
+  output_string oc "not a checkpoint";
+  close_out oc;
+  expect_corrupt "bad magic" (fun () ->
+      Checkpoint.load ~dir ~name:"b.ckpt" ~schema:"s1" ~version:2);
+  let oc = open_out_bin (Filename.concat dir "c.ckpt") in
+  output_string oc (String.sub raw 0 6);
+  close_out oc;
+  expect_corrupt "truncated" (fun () ->
+      Checkpoint.load ~dir ~name:"c.ckpt" ~schema:"s1" ~version:2)
+
+let test_checkpoint_series () =
+  check Alcotest.string "numbered name" "soak.000008.ckpt"
+    (Checkpoint.numbered_name ~prefix:"soak" ~n:8);
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Alcotest.(check bool) "no dir, no latest" true
+    (Checkpoint.latest ~dir ~prefix:"soak" = None);
+  List.iter
+    (fun n ->
+      ignore
+        (Checkpoint.save ~dir
+           ~name:(Checkpoint.numbered_name ~prefix:"soak" ~n)
+           ~schema:"s" ~version:1
+           (Printf.sprintf "payload-%d" n)))
+    [ 4; 12; 8 ];
+  (* Foreign files in the directory are ignored. *)
+  let oc = open_out_bin (Filename.concat dir "other.txt") in
+  output_string oc "x";
+  close_out oc;
+  match Checkpoint.latest ~dir ~prefix:"soak" with
+  | None -> Alcotest.fail "series exists"
+  | Some (n, name) ->
+      check Alcotest.int "highest round wins" 12 n;
+      check Alcotest.string "its filename" "soak.000012.ckpt" name;
+      check Alcotest.string "and it loads" "payload-12"
+        (Checkpoint.load ~dir ~name ~schema:"s" ~version:1)
+
+(* --- Watchdog -------------------------------------------------------- *)
+
+let test_watchdog () =
+  let clock = ref 100.0 in
+  let now () = !clock in
+  let wd = Watchdog.start ~now ~label:"trial-3" (Some 5.0) in
+  Watchdog.check wd;
+  clock := 104.9;
+  Watchdog.check wd;
+  Alcotest.(check bool) "not yet expired" false (Watchdog.expired wd);
+  Alcotest.(check (float 1e-9)) "elapsed tracks the clock" 4.9 (Watchdog.elapsed wd);
+  clock := 105.2;
+  Alcotest.(check bool) "expired" true (Watchdog.expired wd);
+  (match Watchdog.check wd with
+  | () -> Alcotest.fail "expected Timeout"
+  | exception Watchdog.Timeout { label; budget_s; elapsed_s } ->
+      check Alcotest.string "label" "trial-3" label;
+      Alcotest.(check (float 1e-9)) "budget" 5.0 budget_s;
+      Alcotest.(check bool) "elapsed >= budget" true (elapsed_s >= budget_s));
+  (* No budget: never fires, whatever the clock does. *)
+  let free = Watchdog.start ~now ~label:"free" None in
+  clock := 1.0e12;
+  Watchdog.check free;
+  Alcotest.(check bool) "budget-free never expires" false (Watchdog.expired free);
+  match Watchdog.start ~now (Some 0.0) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- Supervise.map --------------------------------------------------- *)
+
+let test_attempt_seed () =
+  check Alcotest.int64 "attempt 0 is the runner's job seed"
+    (Runner.job_seed 42L 5)
+    (Supervise.attempt_seed ~base_seed:42L ~index:5 ~attempt:0);
+  check Alcotest.int64 "deterministic"
+    (Supervise.attempt_seed ~base_seed:42L ~index:5 ~attempt:3)
+    (Supervise.attempt_seed ~base_seed:42L ~index:5 ~attempt:3);
+  let seeds =
+    List.concat_map
+      (fun index ->
+        List.init 4 (fun attempt ->
+            Supervise.attempt_seed ~base_seed:42L ~index ~attempt))
+      [ 0; 1; 2; 3 ]
+  in
+  check Alcotest.int "distinct across (index, attempt)" 16
+    (List.length (List.sort_uniq Int64.compare seeds))
+
+let test_supervised_map_retries () =
+  (* A flaky job: fails on its first attempt, succeeds on the retry.
+     jobs:1 keeps the attempt counters race-free. *)
+  let attempts = Array.make 4 0 in
+  let results, report =
+    Supervise.map ~jobs:1 ~base_seed:5L
+      (fun ~obs:_ ~seed:_ ~watchdog:_ i ->
+        attempts.(i) <- attempts.(i) + 1;
+        if i = 1 && attempts.(1) = 1 then failwith "flaky";
+        i * 10)
+      (Array.init 4 Fun.id)
+  in
+  Alcotest.(check bool) "all jobs succeed" true (Run_report.ok report);
+  check Alcotest.int "report counts the batch" 4 report.Run_report.jobs;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check Alcotest.int "result" (i * 10) v
+      | Error _ -> Alcotest.fail "no failures expected")
+    results;
+  check Alcotest.int "flaky job ran twice" 2 attempts.(1);
+  check Alcotest.int "healthy jobs ran once" 1 attempts.(0)
+
+let test_supervised_map_degrades () =
+  let f ~obs:_ ~seed:_ ~watchdog:_ i =
+    if i = 2 then failwith "boom2" else i + 100
+  in
+  let run jobs =
+    Supervise.map ~jobs ~base_seed:7L
+      ~label_of:(Printf.sprintf "w%d")
+      f (Array.init 5 Fun.id)
+  in
+  let results, report = run 2 in
+  check Alcotest.int "one failure" 1 (Run_report.n_failed report);
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check Alcotest.int "survivors complete" (i + 100) v
+      | Error (fl : Run_report.failure) ->
+          check Alcotest.int "failing index" 2 fl.Run_report.index;
+          check Alcotest.string "label" "w2" fl.Run_report.label;
+          Alcotest.(check bool) "seed recorded" true
+            (fl.Run_report.seed = Some (Runner.job_seed 7L 2));
+          check Alcotest.int "default policy = 1 retry" 2 fl.Run_report.attempts;
+          Alcotest.(check bool) "error text kept" true
+            (contains fl.Run_report.error "boom2"))
+    results;
+  (* Outcomes are independent of the worker count (modulo backtraces). *)
+  let strip (r, _) =
+    Array.map
+      (function
+        | Ok v -> Ok v
+        | Error (f : Run_report.failure) ->
+            Error
+              ( f.Run_report.index,
+                f.Run_report.label,
+                f.Run_report.seed,
+                f.Run_report.attempts,
+                f.Run_report.error ))
+      r
+  in
+  Alcotest.(check bool) "jobs=1 and jobs=2 agree" true
+    (strip (run 1) = strip (results, report))
+
+(* --- Invariants ------------------------------------------------------ *)
+
+let test_invariants_clean_soak () =
+  let _, t = Lazy.force soaked in
+  let ctx = Soak.invariant_ctx t in
+  Alcotest.(check bool) "events were consumed" true (ctx.Invariants.cursor > 0);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "no violations" []
+    (List.map
+       (fun (v : Invariants.violation) ->
+         (v.Invariants.check, v.Invariants.detail))
+       (Invariants.check_all ctx))
+
+let test_invariants_detect_replay_divergence () =
+  let _, t = Lazy.force soaked in
+  let ctx = Soak.invariant_ctx t in
+  (* Rewinding the cursor makes the hold counts disagree with the
+     replayed event prefix. *)
+  let bad = { ctx with Invariants.cursor = 0 } in
+  let vs = Invariants.check_all bad in
+  Alcotest.(check bool) "replay divergence flagged" true
+    (List.exists (fun v -> v.Invariants.check = "link-state") vs);
+  match Invariants.check_exn bad with
+  | () -> Alcotest.fail "expected Violated"
+  | exception Invariants.Violated (_ :: _) -> ()
+
+let test_invariants_detect_negative_holds () =
+  let g = ring () in
+  let n = Graph.num_links g in
+  let links =
+    Link_state.of_dump
+      {
+        Link_state.d_holds = Array.init n (fun l -> if l = 1 then -1 else 0);
+        d_since = Array.make n 0.0;
+      }
+  in
+  let ctx =
+    {
+      Invariants.graph = g;
+      now = 0.0;
+      links;
+      stores = Array.init (Graph.n g) (fun _ -> Beacon_store.create ~limit:5);
+      path_server = None;
+      events = [||];
+      cursor = 0;
+    }
+  in
+  Alcotest.(check bool) "negative hold flagged" true
+    (List.exists
+       (fun (v : Invariants.violation) ->
+         v.Invariants.check = "link-state"
+         && contains v.Invariants.detail "negative")
+       (Invariants.check_all ctx))
+
+let test_invariants_detect_stale_stores () =
+  (* Stores filled with every link up, then the whole fabric goes down
+     without any revocation: every surviving PCB now violates
+     store-links. *)
+  let g = ring () in
+  let outcome =
+    Beaconing.run g
+      {
+        Beaconing.default_config with
+        Beaconing.algorithm = Beacon_policy.Baseline;
+        duration = 600.0 *. 4.0;
+      }
+  in
+  let n = Graph.num_links g in
+  let events =
+    Array.init n (fun link ->
+        { Fault_plan.time = 0.0; link; action = Fault_plan.Down })
+  in
+  let links = Link_state.create ~n_links:n in
+  Array.iter
+    (fun (e : Fault_plan.event) ->
+      ignore
+        (Link_state.apply links ~now:e.Fault_plan.time ~link:e.Fault_plan.link
+           ~action:e.Fault_plan.action))
+    events;
+  let ctx =
+    {
+      Invariants.graph = g;
+      now = 600.0 *. 4.0;
+      links;
+      stores = outcome.Beaconing.stores;
+      path_server = None;
+      events;
+      cursor = n;
+    }
+  in
+  Alcotest.(check bool) "PCBs over down links flagged" true
+    (List.exists
+       (fun (v : Invariants.violation) -> v.Invariants.check = "store-links")
+       (Invariants.check_all ctx))
+
+(* --- Soak: chunked determinism --------------------------------------- *)
+
+let test_soak_chunked_byte_identical () =
+  let cfg = soak_config () in
+  let direct = Soak.create cfg in
+  Soak.advance direct ~upto:12;
+  let want = Soak.encode direct in
+  (* Same horizon, but through encode/restore at two cut points. *)
+  let t = Soak.create cfg in
+  Soak.advance t ~upto:5;
+  let t = Soak.restore cfg (Soak.encode t) in
+  Soak.advance t ~upto:9;
+  let t = Soak.restore cfg (Soak.encode t) in
+  Soak.advance t ~upto:12;
+  check Alcotest.int "rounds completed" 12 (Soak.round t);
+  Alcotest.(check bool) "chunked run encodes byte-identically" true
+    (want = Soak.encode t);
+  Alcotest.(check bool) "and reports identically" true
+    (Soak.report direct = Soak.report t);
+  Alcotest.(check bool) "encode/restore is a fixpoint" true
+    (Soak.encode (Soak.restore cfg want) = want)
+
+let test_soak_restore_rejects_mismatch () =
+  let cfg = soak_config ~rounds:4 () in
+  let t = Soak.create cfg in
+  Soak.advance t ~upto:4;
+  let bytes = Soak.encode t in
+  let expect_corrupt what f =
+    match f () with
+    | (_ : Soak.t) -> Alcotest.fail (what ^ ": expected Snapshot.Corrupt")
+    | exception Snapshot.Corrupt _ -> ()
+  in
+  expect_corrupt "different pair set" (fun () ->
+      Soak.restore { cfg with Soak.pairs = [| (0, 2) |] } bytes);
+  expect_corrupt "truncated bytes" (fun () ->
+      Soak.restore cfg (String.sub bytes 0 (String.length bytes / 2)))
+
+let test_soak_config_key () =
+  let cfg = soak_config () in
+  check Alcotest.string "stable fingerprint" (Soak.config_key cfg)
+    (Soak.config_key (soak_config ()));
+  Alcotest.(check bool) "plan seed changes it" true
+    (Soak.config_key cfg <> Soak.config_key (soak_config ~seed:2L ()));
+  Alcotest.(check bool) "storage limit changes it" true
+    (Soak.config_key cfg <> Soak.config_key (soak_config ~limit:6 ()))
+
+(* qcheck: whatever the fault-plan seed and wherever the run is cut,
+   save -> load -> invariant-check -> re-save is byte-stable and the
+   resumed run converges on the direct run's bytes. *)
+let prop_soak_resume_byte_identical =
+  QCheck.Test.make ~name:"soak resume is byte-identical under any cut" ~count:10
+    QCheck.(pair (int_bound 1000) (int_bound 6))
+    (fun (seed, cut) ->
+      let rounds = 8 in
+      let cut = 1 + cut in
+      let cfg = soak_config ~seed:(Int64.of_int (seed + 1)) ~rounds () in
+      let direct = Soak.create cfg in
+      Soak.advance direct ~upto:rounds;
+      let want = Soak.encode direct in
+      let t = Soak.create cfg in
+      Soak.advance t ~upto:cut;
+      let frozen = Soak.encode t in
+      let thawed = Soak.restore cfg frozen in
+      (* The checkpointed state is internally consistent and re-encodes
+         to the same bytes before advancing further. *)
+      Invariants.check_all (Soak.invariant_ctx thawed) = []
+      && Soak.encode thawed = frozen
+      &&
+      (Soak.advance thawed ~upto:rounds;
+       Soak.encode thawed = want))
+
+let suite =
+  [
+    ("snapshot primitives", `Quick, test_snapshot_primitives);
+    ("snapshot i64 wire format", `Quick, test_snapshot_i64_wire_format);
+    ("snapshot corruption", `Quick, test_snapshot_corruption);
+    ("snapshot rng", `Quick, test_snapshot_rng);
+    ("snapshot segment", `Quick, test_snapshot_segment);
+    ("snapshot registry", `Quick, test_snapshot_registry);
+    ("snapshot soak components", `Quick, test_snapshot_components_from_soak);
+    ("snapshot beacon stats", `Quick, test_snapshot_beacon_stats);
+    ("checkpoint roundtrip/corruption", `Quick, test_checkpoint_roundtrip_and_corruption);
+    ("checkpoint series", `Quick, test_checkpoint_series);
+    ("watchdog", `Quick, test_watchdog);
+    ("attempt seeds", `Quick, test_attempt_seed);
+    ("supervised map retries", `Quick, test_supervised_map_retries);
+    ("supervised map degrades", `Quick, test_supervised_map_degrades);
+    ("invariants: clean soak", `Quick, test_invariants_clean_soak);
+    ("invariants: replay divergence", `Quick, test_invariants_detect_replay_divergence);
+    ("invariants: negative holds", `Quick, test_invariants_detect_negative_holds);
+    ("invariants: stale stores", `Quick, test_invariants_detect_stale_stores);
+    ("soak chunked determinism", `Slow, test_soak_chunked_byte_identical);
+    ("soak restore rejects mismatch", `Quick, test_soak_restore_rejects_mismatch);
+    ("soak config key", `Quick, test_soak_config_key);
+    QCheck_alcotest.to_alcotest prop_soak_resume_byte_identical;
+  ]
