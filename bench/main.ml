@@ -113,6 +113,65 @@ let bench_soak_bytes =
     (let cfg, t = Lazy.force bench_soak in
      (cfg, Soak.encode t))
 
+(* Traffic-engine kernels on the SCIONLab testbed graph: offered
+   paths straight from the control plane, a Zipf demand over them. *)
+let bench_traffic =
+  lazy
+    (let g = Lazy.force scionlab in
+     let beacon scope =
+       {
+         Beaconing.default_config with
+         Beaconing.scope;
+         Beaconing.duration = 600.0 *. 8.0;
+         Beaconing.lifetime = 600.0 *. 12.0;
+       }
+     in
+     let core = Beaconing.run g (beacon Beaconing.Core_beaconing) in
+     let intra = Beaconing.run g (beacon Beaconing.Intra_isd) in
+     let cs = Control_service.build ~core ~intra () in
+     let demand =
+       Demand.create g
+         {
+           Demand.default_params with
+           Demand.n_pairs = 24;
+           flows = 400;
+           horizon_s = 60.0;
+           seed = 17L;
+         }
+     in
+     let paths =
+       Array.map
+         (fun (src, dst) ->
+           let seen = Hashtbl.create 8 in
+           Control_service.resolve cs ~src ~dst
+           |> List.filter (fun p ->
+                  let k = Fwd_path.key p in
+                  if Hashtbl.mem seen k then false
+                  else begin
+                    Hashtbl.add seen k ();
+                    true
+                  end)
+           |> Array.of_list)
+         (Demand.pairs demand)
+     in
+     let cfg =
+       {
+         Traffic_sim.graph = g;
+         paths;
+         latency_ms = Geo.latency_table g;
+         demand;
+         strategy = Strategy.Load_adaptive;
+         width = 2;
+         plan = Fault_plan.plan [];
+         capacity_scale = 0.01;
+         slot_s = 1.0;
+         slots = 120;
+         adapt_margin = 1.25;
+         metric_labels = [ ("cell", "bench") ];
+       }
+     in
+     (g, cfg, paths))
+
 let beaconing_run g algorithm rounds =
   let cfg =
     {
@@ -227,6 +286,44 @@ let tests =
             Supervise.map ~jobs:1 ~base_seed:1L
               (fun ~obs:_ ~seed:_ ~watchdog:_ i -> i)
               input));
+    (* Traffic-engine kernels: one strategy decision over a real
+       offered set, the per-(de)admission link-load update, and the
+       full flow-scheduling loop (admission, selection, fluid
+       progress) over a 120-slot workload. *)
+    Test.make ~name:"traffic/strategy-select"
+      (Staged.stage
+         (let g, _, paths = Lazy.force bench_traffic in
+          let ctx =
+            { Strategy.latency_ms = Geo.latency_table g;
+              load = Link_load.create ~capacity_scale:0.01 g }
+          in
+          let offered =
+            Array.fold_left
+              (fun best o -> if Array.length o > Array.length best then o else best)
+              [||] paths
+          in
+          fun () -> Strategy.select Strategy.Load_adaptive ctx ~width:3 offered));
+    Test.make ~name:"traffic/link-load-update"
+      (Staged.stage
+         (let g, _, paths = Lazy.force bench_traffic in
+          let load = Link_load.create ~capacity_scale:0.01 g in
+          let links =
+            (Array.fold_left
+               (fun best o -> if Array.length o > Array.length best then o else best)
+               [||] paths).(0)
+              .Fwd_path.links
+          in
+          fun () ->
+            Link_load.add_path load links;
+            ignore (Link_load.fair_share load links);
+            Link_load.remove_path load links));
+    Test.make ~name:"traffic/sim-120-slots"
+      (Staged.stage
+         (let _, cfg, _ = Lazy.force bench_traffic in
+          fun () ->
+            let t = Traffic_sim.create cfg in
+            Traffic_sim.advance t ~upto:(Traffic_sim.slots_total t);
+            Traffic_sim.finish t));
     (* Ablations: the design choices called out in DESIGN.md. *)
     Test.make ~name:"ablation/diversity-arith-mean-3rounds"
       (Staged.stage (fun () ->

@@ -259,6 +259,40 @@ let exec (type c) (module S : Scenario.Cli with type config = c) (config : c) jo
         checkpoints;
       exit 3
 
+let strategy_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Strategy.of_string s) in
+  let print fmt s = Format.pp_print_string fmt (Strategy.name s) in
+  Arg.conv (parse, print)
+
+(* The traffic scenario's own knobs; every other scenario ignores them. *)
+let traffic_term =
+  let flows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flows" ] ~docv:"N"
+          ~doc:"Traffic scenario: demand flows per strategy cell.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (some strategy_arg) None
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            "Traffic scenario: restrict the demand sweep to one path-selection \
+             strategy (latency-greedy, diversity-max or load-adaptive).")
+  in
+  let capacity_scale =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "capacity-scale" ] ~docv:"X"
+          ~doc:"Traffic scenario: uniform link-capacity multiplier.")
+  in
+  Term.(
+    const (fun flows strategy capacity_scale -> (flows, strategy, capacity_scale))
+    $ flows $ strategy $ capacity_scale)
+
 let run_cmd =
   let scenario =
     Arg.(
@@ -269,7 +303,8 @@ let run_cmd =
             (Printf.sprintf "The scenario to run: %s."
                (String.concat ", " Scenarios.names)))
   in
-  let run name scale seed sup jobs out obs_opts =
+  let run name scale seed sup (flows, strategy, capacity_scale) jobs out obs_opts
+      =
     match Scenarios.find name with
     | None ->
         `Error
@@ -277,16 +312,18 @@ let run_cmd =
             Printf.sprintf "unknown scenario %S (available: %s)" name
               (String.concat ", " Scenarios.names) )
     | Some (module S : Scenario.Cli) ->
-        exec (module S) (S.config_of_cli { Scenario.scale; seed; sup }) jobs out
-          obs_opts;
+        exec (module S)
+          (S.config_of_cli
+             { Scenario.scale; seed; sup; flows; strategy; capacity_scale })
+          jobs out obs_opts;
         `Ok ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run any experiment through the generic scenario driver")
     Term.(
       ret
-        (const run $ scenario $ scale_term $ seed_term $ sup_term $ jobs_term
-       $ out_term $ obs_term))
+        (const run $ scenario $ scale_term $ seed_term $ sup_term $ traffic_term
+       $ jobs_term $ out_term $ obs_term))
 
 let table1_cmd =
   let measure =
@@ -302,7 +339,15 @@ let table1_cmd =
 let scenario_alias (module S : Scenario.Cli) ~doc =
   let run scale seed jobs out obs_opts =
     exec (module S)
-      (S.config_of_cli { Scenario.scale; seed; sup = Supervise.default_cli })
+      (S.config_of_cli
+         {
+           Scenario.scale;
+           seed;
+           sup = Supervise.default_cli;
+           flows = None;
+           strategy = None;
+           capacity_scale = None;
+         })
       jobs out obs_opts
   in
   Cmd.v (Cmd.info S.name ~doc)
@@ -415,7 +460,16 @@ let all_cmd =
   let run scale seed jobs obs_opts =
     with_obs obs_opts (fun obs ->
         timed "all" (fun () ->
-            let cli = { Scenario.scale; seed; sup = Supervise.default_cli } in
+            let cli =
+              {
+                Scenario.scale;
+                seed;
+                sup = Supervise.default_cli;
+                flows = None;
+                strategy = None;
+                capacity_scale = None;
+              }
+            in
             let jobs = resolve_jobs jobs in
             (* Every registered scenario except the grid search, which
                is a tool rather than a paper artefact. *)

@@ -91,3 +91,23 @@ let sample_pairs g ~count ~seed =
     done;
     Array.of_list (List.rev !acc)
   end
+
+(* Links between two core ASes become core links, so an ISD graph
+   carries both levels of the beaconing hierarchy. *)
+let coreify g =
+  let b = Graph.builder () in
+  for v = 0 to Graph.n g - 1 do
+    let info = Graph.as_info g v in
+    ignore
+      (Graph.add_as b ~tier:info.Graph.tier ~cities:info.Graph.cities
+         ~core:info.Graph.core info.Graph.ia)
+  done;
+  for l = 0 to Graph.num_links g - 1 do
+    let lk = Graph.link g l in
+    let rel =
+      if Graph.is_core g lk.Graph.a && Graph.is_core g lk.Graph.b then Graph.Core
+      else lk.Graph.rel
+    in
+    Graph.add_link b ~rel lk.Graph.a lk.Graph.b
+  done;
+  Graph.freeze b

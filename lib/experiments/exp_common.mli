@@ -51,3 +51,9 @@ val months_factor : Beaconing.config -> float
 
 val sample_pairs : Graph.t -> count:int -> seed:int64 -> (int * int) array
 (** Distinct random AS pairs. *)
+
+val coreify : Graph.t -> Graph.t
+(** Relabel every link between two core ASes as {!Graph.Core}, so an
+    ISD graph supports both the core and the intra-ISD beaconing
+    hierarchies (used by the Table-1 taxonomy and the traffic
+    workloads). *)

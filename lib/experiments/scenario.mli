@@ -22,6 +22,15 @@ type cli = {
       (** the shared supervision flags (checkpointing, resume, retries,
           failure injection); {!Supervise.default_cli} for scenarios
           that do not checkpoint *)
+  flows : int option;
+      (** the traffic scenario's [--flows] flag (flows per strategy
+          cell); [None] everywhere else *)
+  strategy : Strategy.t option;
+      (** the traffic scenario's [--strategy] flag: restrict the
+          demand sweep to one path-selection strategy *)
+  capacity_scale : float option;
+      (** the traffic scenario's [--capacity-scale] flag: uniform
+          link-capacity multiplier *)
 }
 (** The shared command-line inputs the generic driver can offer a
     scenario; {!Cli.config_of_cli} turns them into the scenario's own

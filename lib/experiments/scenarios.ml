@@ -9,6 +9,7 @@ let all : (module Scenario.Cli) list =
     (module Pathdyn);
     (module Latency_exp);
     (module Tuning);
+    (module Traffic_exp);
   ]
 
 let names = List.map (fun (module S : Scenario.Cli) -> S.name) all

@@ -81,6 +81,65 @@ let finish t ~now =
       t.unrecovered <- t.unrecovered + 1)
     dangling
 
+type dump = {
+  d_events_down : int;
+  d_events_up : int;
+  d_affected : (int * int) list;
+  d_failovers : int;
+  d_blackouts : int;
+  d_unrecovered : int;
+  d_blackout_time_s : float;
+  d_recovery : float array;
+  d_blackout : float array;
+  d_open : ((int * int) * float) list;
+  d_revoked_segments : int;
+  d_revocation_msgs : int;
+  d_revocation_bytes : float;
+  d_dropped_pcbs : int;
+}
+
+let dump t =
+  {
+    d_events_down = t.events_down;
+    d_events_up = t.events_up;
+    d_affected =
+      Hashtbl.fold (fun pair () acc -> pair :: acc) t.affected []
+      |> List.sort compare;
+    d_failovers = t.failovers;
+    d_blackouts = t.blackouts;
+    d_unrecovered = t.unrecovered;
+    d_blackout_time_s = t.blackout_time_s;
+    d_recovery = Array.of_list (List.rev t.recovery_rev);
+    d_blackout = Array.of_list (List.rev t.blackout_rev);
+    d_open =
+      Hashtbl.fold (fun pair since acc -> (pair, since) :: acc) t.open_blackouts []
+      |> List.sort compare;
+    d_revoked_segments = t.revoked_segments;
+    d_revocation_msgs = t.revocation_msgs;
+    d_revocation_bytes = t.revocation_bytes;
+    d_dropped_pcbs = t.dropped_pcbs;
+  }
+
+let of_dump d =
+  let t = create () in
+  t.events_down <- d.d_events_down;
+  t.events_up <- d.d_events_up;
+  List.iter (fun pair -> Hashtbl.replace t.affected pair ()) d.d_affected;
+  t.failovers <- d.d_failovers;
+  t.blackouts <- d.d_blackouts;
+  t.unrecovered <- d.d_unrecovered;
+  t.blackout_time_s <- d.d_blackout_time_s;
+  t.recovery_rev <- List.rev (Array.to_list d.d_recovery);
+  t.blackout_rev <- List.rev (Array.to_list d.d_blackout);
+  List.iter
+    (fun (pair, since) -> Hashtbl.replace t.open_blackouts pair since)
+    d.d_open;
+  t.revoked_segments <- d.d_revoked_segments;
+  t.revocation_msgs <- d.d_revocation_msgs;
+  t.revocation_bytes <- d.d_revocation_bytes;
+  t.dropped_pcbs <- d.d_dropped_pcbs;
+  t
+
 type summary = {
   events_down : int;
   events_up : int;

@@ -351,3 +351,69 @@ let r_beacon_stats r =
     crypto_failures;
     rounds;
   }
+
+let w_pair w (a, b) =
+  w_int w a;
+  w_int w b
+
+let r_pair r =
+  let a = r_int r in
+  let b = r_int r in
+  (a, b)
+
+let w_recovery w (d : Recovery.dump) =
+  w_int w d.Recovery.d_events_down;
+  w_int w d.Recovery.d_events_up;
+  w_list w w_pair d.Recovery.d_affected;
+  w_int w d.Recovery.d_failovers;
+  w_int w d.Recovery.d_blackouts;
+  w_int w d.Recovery.d_unrecovered;
+  w_f64 w d.Recovery.d_blackout_time_s;
+  w_arr w w_f64 d.Recovery.d_recovery;
+  w_arr w w_f64 d.Recovery.d_blackout;
+  w_list w
+    (fun w (pair, since) ->
+      w_pair w pair;
+      w_f64 w since)
+    d.Recovery.d_open;
+  w_int w d.Recovery.d_revoked_segments;
+  w_int w d.Recovery.d_revocation_msgs;
+  w_f64 w d.Recovery.d_revocation_bytes;
+  w_int w d.Recovery.d_dropped_pcbs
+
+let r_recovery r =
+  let d_events_down = r_int r in
+  let d_events_up = r_int r in
+  let d_affected = r_list r r_pair in
+  let d_failovers = r_int r in
+  let d_blackouts = r_int r in
+  let d_unrecovered = r_int r in
+  let d_blackout_time_s = r_f64 r in
+  let d_recovery = r_arr r r_f64 in
+  let d_blackout = r_arr r r_f64 in
+  let d_open =
+    r_list r (fun r ->
+        let pair = r_pair r in
+        let since = r_f64 r in
+        (pair, since))
+  in
+  let d_revoked_segments = r_int r in
+  let d_revocation_msgs = r_int r in
+  let d_revocation_bytes = r_f64 r in
+  let d_dropped_pcbs = r_int r in
+  {
+    Recovery.d_events_down;
+    d_events_up;
+    d_affected;
+    d_failovers;
+    d_blackouts;
+    d_unrecovered;
+    d_blackout_time_s;
+    d_recovery;
+    d_blackout;
+    d_open;
+    d_revoked_segments;
+    d_revocation_msgs;
+    d_revocation_bytes;
+    d_dropped_pcbs;
+  }

@@ -110,3 +110,7 @@ val r_link_state : reader -> Link_state.dump
 val w_beacon_stats : writer -> Beaconing.stats -> unit
 
 val r_beacon_stats : reader -> Beaconing.stats
+
+val w_recovery : writer -> Recovery.dump -> unit
+
+val r_recovery : reader -> Recovery.dump

@@ -1,0 +1,131 @@
+type params = {
+  n_pairs : int;
+  flows : int;
+  pair_zipf_s : float;
+  pop_zipf_s : float;
+  mean_size_mbit : float;
+  pareto_alpha : float;
+  horizon_s : float;
+  seed : int64;
+}
+
+let default_params =
+  {
+    n_pairs = 200;
+    flows = 10_000;
+    pair_zipf_s = 1.1;
+    pop_zipf_s = 1.0;
+    mean_size_mbit = 40.0;
+    pareto_alpha = 1.5;
+    horizon_s = 3600.0;
+    seed = 0x7AF1CL;
+  }
+
+type flow_spec = { arrival_s : float; size_mbit : float; pair : int }
+
+type t = {
+  params : params;
+  pairs : (int * int) array;
+  pair_zipf : Zipf.t;
+  rank_of_as : int array;  (** degree rank (0 = best connected) per AS *)
+  pop_zipf : Zipf.t;
+}
+
+let validate g p =
+  if Graph.n g < 2 then invalid_arg "Demand.create: graph has fewer than 2 ASes";
+  if p.n_pairs <= 0 then invalid_arg "Demand.create: n_pairs <= 0";
+  if p.flows < 0 then invalid_arg "Demand.create: flows < 0";
+  if p.mean_size_mbit <= 0.0 then invalid_arg "Demand.create: mean_size_mbit <= 0";
+  if p.pareto_alpha <= 1.0 then invalid_arg "Demand.create: pareto_alpha <= 1";
+  if p.horizon_s <= 0.0 then invalid_arg "Demand.create: horizon_s <= 0"
+
+(* ASes sorted by descending degree (ties by index) give the rank
+   order both Zipf laws are expressed over. *)
+let degree_ranking g =
+  let n = Graph.n g in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare (Graph.as_degree g b) (Graph.as_degree g a) in
+      if c <> 0 then c else compare a b)
+    order;
+  let rank_of_as = Array.make n 0 in
+  Array.iteri (fun rank v -> rank_of_as.(v) <- rank) order;
+  (order, rank_of_as)
+
+let create g p =
+  validate g p;
+  let n = Graph.n g in
+  let as_of_rank, rank_of_as = degree_ranking g in
+  let pop_zipf = Zipf.create ~n ~s:p.pop_zipf_s in
+  let dst_zipf = Zipf.create ~n ~s:(p.pop_zipf_s +. 0.2) in
+  (* Endpoint pairs: sources drawn from the population law, popular
+     destinations from a slightly heavier one. Rejects self-pairs and
+     duplicates; the attempt budget keeps pathological tiny graphs
+     from looping forever. *)
+  let rng = Rng.create p.seed in
+  let seen = Hashtbl.create p.n_pairs in
+  let acc = ref [] in
+  let found = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = p.n_pairs * 100 in
+  while !found < p.n_pairs && !attempts < max_attempts do
+    incr attempts;
+    let src = as_of_rank.(Zipf.sample pop_zipf rng) in
+    let dst = as_of_rank.(Zipf.sample dst_zipf rng) in
+    if src <> dst && not (Hashtbl.mem seen (src, dst)) then begin
+      Hashtbl.replace seen (src, dst) ();
+      acc := (src, dst) :: !acc;
+      incr found
+    end
+  done;
+  let pairs = Array.of_list (List.rev !acc) in
+  if Array.length pairs = 0 then invalid_arg "Demand.create: no usable pair";
+  {
+    params = p;
+    pairs;
+    pair_zipf = Zipf.create ~n:(Array.length pairs) ~s:p.pair_zipf_s;
+    rank_of_as;
+    pop_zipf;
+  }
+
+let params t = t.params
+
+let pairs t = t.pairs
+
+let population t v = Zipf.weight t.pop_zipf t.rank_of_as.(v)
+
+(* Pareto with the requested mean: x_min = mean * (alpha-1) / alpha. *)
+let size_of rng t =
+  let p = t.params in
+  let x_min = p.mean_size_mbit *. (p.pareto_alpha -. 1.0) /. p.pareto_alpha in
+  Rng.pareto rng ~alpha:p.pareto_alpha ~x_min
+
+let flow t i =
+  let p = t.params in
+  if i < 0 || i >= p.flows then invalid_arg "Demand.flow: index out of range";
+  let rng = Rng.create (Runner.job_seed p.seed i) in
+  let arrival_s = Rng.float rng p.horizon_s in
+  let pair = Zipf.sample t.pair_zipf rng in
+  let size_mbit = size_of rng t in
+  { arrival_s; size_mbit; pair }
+
+let sorted_flows t =
+  let specs = Array.init t.params.flows (flow t) in
+  (* Stable by construction: ties on arrival keep flow-index order. *)
+  let order = Array.init t.params.flows Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = compare specs.(a).arrival_s specs.(b).arrival_s in
+      if c <> 0 then c else compare a b)
+    order;
+  Array.map (fun i -> specs.(i)) order
+
+let config_key t =
+  let p = t.params in
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "demand:%d/%d/%h/%h/%h/%h/%h/%Ld;" p.n_pairs p.flows p.pair_zipf_s
+    p.pop_zipf_s p.mean_size_mbit p.pareto_alpha p.horizon_s p.seed;
+  Array.iter (fun (s, d) -> add "%d-%d;" s d) t.pairs;
+  Buffer.contents b

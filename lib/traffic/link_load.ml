@@ -1,0 +1,84 @@
+type t = {
+  capacity : float array;  (** per link, Mbit/s, already scaled *)
+  counts : int array;  (** subflows currently riding each link *)
+}
+
+(* Capacities in Mbit/s by business relationship. Core trunks are
+   fattest; provider-customer links thin out with the provider's tier;
+   peering sits in between. The absolute numbers only matter relative
+   to the demand model's flow sizes — they are chosen so that popular
+   links run into contention at the default scales. *)
+let base_capacity g l =
+  let open Graph in
+  match l.rel with
+  | Core -> 10_000.0
+  | Peering -> 1_500.0
+  | Provider_customer -> (
+      match (as_info g l.a).tier with
+      | 1 -> 4_000.0
+      | 2 -> 2_000.0
+      | _ -> 1_000.0)
+
+let create ?(capacity_scale = 1.0) g =
+  if not (capacity_scale > 0.0) then
+    invalid_arg "Link_load.create: capacity_scale <= 0";
+  let m = Graph.num_links g in
+  {
+    capacity =
+      Array.init m (fun i -> base_capacity g (Graph.link g i) *. capacity_scale);
+    counts = Array.make m 0;
+  }
+
+let capacity_mbps t l = t.capacity.(l)
+
+let count t l = t.counts.(l)
+
+let n_links t = Array.length t.capacity
+
+let add_path t links =
+  Array.iter (fun l -> t.counts.(l) <- t.counts.(l) + 1) links
+
+let remove_path t links =
+  Array.iter
+    (fun l ->
+      if t.counts.(l) = 0 then
+        invalid_arg "Link_load.remove_path: count underflow";
+      t.counts.(l) <- t.counts.(l) - 1)
+    links
+
+let fair_share t links =
+  Array.fold_left
+    (fun acc l ->
+      let c = t.counts.(l) in
+      if c = 0 then acc else Float.min acc (t.capacity.(l) /. float_of_int c))
+    infinity links
+
+let admission_estimate t links =
+  Array.fold_left
+    (fun acc l ->
+      Float.min acc (t.capacity.(l) /. float_of_int (t.counts.(l) + 1)))
+    infinity links
+
+let bottleneck t links =
+  let best = ref (-1) and best_rate = ref infinity in
+  Array.iter
+    (fun l ->
+      let c = t.counts.(l) in
+      if c > 0 then begin
+        let r = t.capacity.(l) /. float_of_int c in
+        if r < !best_rate then begin
+          best_rate := r;
+          best := l
+        end
+      end)
+    links;
+  (* On an all-idle path report the thinnest link instead of nothing:
+     callers use this for labelling, not accounting. *)
+  if !best < 0 && Array.length links > 0 then begin
+    let thin = ref links.(0) in
+    Array.iter (fun l -> if t.capacity.(l) < t.capacity.(!thin) then thin := l) links;
+    best := !thin
+  end;
+  !best
+
+let clear t = Array.fill t.counts 0 (Array.length t.counts) 0

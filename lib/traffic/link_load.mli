@@ -1,0 +1,49 @@
+(** Capacity-aware link loading.
+
+    Every topology link gets a deterministic capacity derived from its
+    business relationship and the provider's tier (core trunks are
+    fattest, stub access links thinnest), scaled uniformly by the
+    [--capacity-scale] knob. The loader tracks how many subflows
+    currently ride each link and answers the fluid-model rate
+    questions the engine and the load-adaptive strategy ask: what a
+    subflow on a path gets now (max-min-style fair share of its
+    bottleneck), and what a {e new} subflow would get if it joined —
+    the congestion-feedback signal path selection steers by. *)
+
+type t
+
+val create : ?capacity_scale:float -> Graph.t -> t
+(** [capacity_scale] (default 1.0, must be positive) multiplies every
+    link capacity. *)
+
+val capacity_mbps : t -> int -> float
+(** Capacity of a link in Mbit/s (scaled). *)
+
+val count : t -> int -> int
+(** Subflows currently riding the link. *)
+
+val add_path : t -> int array -> unit
+(** Register one subflow on every link of a path. *)
+
+val remove_path : t -> int array -> unit
+(** Unregister; raises [Invalid_argument] if a count would go
+    negative (a remove without a matching add). *)
+
+val fair_share : t -> int array -> float
+(** Rate of one subflow {e already counted} on the path: the minimum
+    over its links of [capacity / count]. [infinity] on an empty
+    path. *)
+
+val admission_estimate : t -> int array -> float
+(** Rate a new subflow would get on the path, i.e. the minimum of
+    [capacity / (count + 1)] over its links — used by the
+    load-adaptive strategy to avoid saturated links. *)
+
+val bottleneck : t -> int array -> int
+(** The first link on the path realising {!fair_share}; the thinnest
+    link when the whole path is idle; [-1] on an empty path. *)
+
+val n_links : t -> int
+
+val clear : t -> unit
+(** Zero every count (capacities are kept). *)

@@ -1,0 +1,43 @@
+(** Pluggable path-selection strategies.
+
+    Endpoints receive the [Fwd_path] set the control plane actually
+    produced for their pair and must decide which path(s) to put a
+    flow on. Following the axiomatic analysis of path-selection
+    strategies, three archetypes are implemented:
+
+    - {e latency-greedy} — always the lowest-latency paths; optimal
+      for an isolated flow, herds popular pairs onto the same links;
+    - {e diversity-maximizing} — a greedy maximally link-disjoint
+      subset, the BitTorrent-over-SCION recipe for aggregating
+      capacity across disjoint bottlenecks;
+    - {e load-adaptive} — maximizes the admission-rate estimate from
+      {!Link_load}, i.e. steers by congestion feedback.
+
+    Selection is a deterministic pure function of the offered set,
+    the latency table and the current link loads — strategies carry
+    no hidden state, which is what makes sharded runs reproducible. *)
+
+type t = Latency_greedy | Diversity_max | Load_adaptive
+
+val all : t list
+
+val name : t -> string
+(** [latency-greedy], [diversity-max] or [load-adaptive] — the
+    [--strategy] flag spelling. *)
+
+val of_string : string -> (t, string) result
+
+type ctx = {
+  latency_ms : float array;  (** per-link propagation latency *)
+  load : Link_load.t;
+}
+
+val path_latency : ctx -> Fwd_path.t -> float
+(** One-way propagation latency: sum over the path's links. *)
+
+val select : t -> ctx -> width:int -> Fwd_path.t array -> int array
+(** [select s ctx ~width offered] returns the indices of the chosen
+    paths, best first: at most [width] distinct indices into
+    [offered], at least one when [offered] is non-empty, [| |]
+    otherwise. Never invents paths and never mutates [ctx.load].
+    Raises [Invalid_argument] when [width < 1]. *)

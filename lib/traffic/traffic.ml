@@ -1,0 +1,19 @@
+(** Flow-level traffic workload engine.
+
+    Facade over the subsystem's parts, so callers can say
+    [Traffic.Demand.create], [Traffic.Sim.advance], …:
+
+    - {!Demand}: Zipf-shaped endpoint-pair demand with per-flow
+      SplitMix64 attribute derivation;
+    - {!Link_load}: per-link capacities and fluid fair-share rates;
+    - {!Strategy}: pluggable path selection (latency-greedy,
+      diversity-maximizing, load-adaptive);
+    - {!Sim} ({!Traffic_sim}): the checkpointable slotted simulation;
+    - {!Swarm}: the single-path vs multipath file-transfer
+      comparison workload. *)
+
+module Demand = Demand
+module Link_load = Link_load
+module Strategy = Strategy
+module Sim = Traffic_sim
+module Swarm = Swarm

@@ -1,0 +1,591 @@
+type config = {
+  graph : Graph.t;
+  paths : Fwd_path.t array array;
+  latency_ms : float array;
+  demand : Demand.t;
+  strategy : Strategy.t;
+  width : int;
+  plan : Fault_plan.t;
+  capacity_scale : float;
+  slot_s : float;
+  slots : int;
+  adapt_margin : float;
+  metric_labels : (string * string) list;
+}
+
+type flow = {
+  id : int;
+  pair : int;
+  arrival_s : float;
+  mutable remaining : float;  (** Mbit left to transfer *)
+  mutable sel : int array;  (** offered-path indices; [||] = stalled *)
+  mutable switches : int;
+}
+
+type state = {
+  mutable slot : int;
+  mutable cursor : int;  (** consumed fault events *)
+  mutable next_arrival : int;
+  mutable rejected : int;
+  mutable active : flow array;  (** admission order *)
+  links : Link_state.t;
+  load : Link_load.t;
+  delivered : float array;  (** Mbit carried, per link *)
+  recov : Recovery.t;
+  metrics : Registry.t;
+  mutable completed : int;
+  mutable fct_sum : float;
+  mutable switches_total : int;
+  mutable finished : bool;
+}
+
+type t = {
+  config : config;
+  arrivals : Demand.flow_spec array;
+  events : Fault_plan.event array;
+  ctx : Strategy.ctx;
+  state : state;
+  fct_h : Histogram.t;
+  util_h : Histogram.t;
+  switch_h : Histogram.t;
+  admitted_c : float ref;
+  completed_c : float ref;
+}
+
+let fct_metric = "traffic_fct_s"
+
+let util_metric = "traffic_link_utilization"
+
+let switch_metric = "traffic_path_switches"
+
+let validate cfg =
+  let n_pairs = Array.length (Demand.pairs cfg.demand) in
+  if Array.length cfg.paths <> n_pairs then
+    invalid_arg "Traffic_sim.create: offered path sets / demand pairs mismatch";
+  if Array.length cfg.latency_ms <> Graph.num_links cfg.graph then
+    invalid_arg "Traffic_sim.create: latency table / link count mismatch";
+  if cfg.width < 1 then invalid_arg "Traffic_sim.create: width < 1";
+  if not (cfg.slot_s > 0.0) then invalid_arg "Traffic_sim.create: slot_s <= 0";
+  if cfg.slots < 0 then invalid_arg "Traffic_sim.create: slots < 0";
+  if not (cfg.capacity_scale > 0.0) then
+    invalid_arg "Traffic_sim.create: capacity_scale <= 0"
+
+let make t_of_state cfg =
+  validate cfg;
+  let metrics = t_of_state.metrics in
+  (* Eagerly create every series so reading a report never changes the
+     registry (and thus never perturbs a re-saved snapshot). *)
+  let labels = cfg.metric_labels in
+  let fct_h = Registry.histogram metrics ~labels fct_metric in
+  let util_h = Registry.histogram metrics ~labels util_metric in
+  let switch_h = Registry.histogram metrics ~labels switch_metric in
+  let admitted_c =
+    Registry.counter metrics ~labels "traffic_flows_admitted_total"
+  in
+  let completed_c =
+    Registry.counter metrics ~labels "traffic_flows_completed_total"
+  in
+  {
+    config = cfg;
+    arrivals = Demand.sorted_flows cfg.demand;
+    events = Fault_plan.compile ~graph:cfg.graph cfg.plan;
+    ctx = { Strategy.latency_ms = cfg.latency_ms; load = t_of_state.load };
+    state = t_of_state;
+    fct_h;
+    util_h;
+    switch_h;
+    admitted_c;
+    completed_c;
+  }
+
+let create cfg =
+  validate cfg;
+  let state =
+    {
+      slot = 0;
+      cursor = 0;
+      next_arrival = 0;
+      rejected = 0;
+      active = [||];
+      links = Link_state.create ~n_links:(Graph.num_links cfg.graph);
+      load = Link_load.create ~capacity_scale:cfg.capacity_scale cfg.graph;
+      delivered = Array.make (Graph.num_links cfg.graph) 0.0;
+      recov = Recovery.create ();
+      metrics = Registry.create ();
+      completed = 0;
+      fct_sum = 0.0;
+      switches_total = 0;
+      finished = false;
+    }
+  in
+  make state cfg
+
+let slot t = t.state.slot
+
+let slots_total t = t.config.slots
+
+let registry t = t.state.metrics
+
+let recovery t = t.state.recov
+
+(* --- path bookkeeping ------------------------------------------------- *)
+
+let links_of t pair i = t.config.paths.(pair).(i).Fwd_path.links
+
+let add_sel t f =
+  Array.iter (fun i -> Link_load.add_path t.state.load (links_of t f.pair i)) f.sel
+
+let remove_sel t f =
+  Array.iter
+    (fun i -> Link_load.remove_path t.state.load (links_of t f.pair i))
+    f.sel
+
+let path_alive t (p : Fwd_path.t) =
+  Array.for_all (Link_state.up t.state.links) p.Fwd_path.links
+
+(* Run the configured strategy over the currently-alive subset of the
+   pair's offered paths, returning indices into the full offered set. *)
+let select_alive t pair =
+  let offered = t.config.paths.(pair) in
+  let alive_idx = ref [] in
+  Array.iteri (fun i p -> if path_alive t p then alive_idx := i :: !alive_idx) offered;
+  let alive_idx = Array.of_list (List.rev !alive_idx) in
+  if Array.length alive_idx = 0 then [||]
+  else
+    let alive = Array.map (fun i -> offered.(i)) alive_idx in
+    let sel =
+      Strategy.select t.config.strategy t.ctx ~width:t.config.width alive
+    in
+    Array.map (fun j -> alive_idx.(j)) sel
+
+(* Aggregate rate a selection would get, accounting for the load its
+   own subflows add on shared links — the comparison metric for
+   load-adaptive re-selection. *)
+let selection_estimate t pair sel =
+  let load = t.state.load in
+  let extra = Hashtbl.create 8 in
+  let bonus l = match Hashtbl.find_opt extra l with Some k -> k | None -> 0 in
+  Array.fold_left
+    (fun total i ->
+      let links = links_of t pair i in
+      let est =
+        Array.fold_left
+          (fun acc l ->
+            Float.min acc
+              (Link_load.capacity_mbps load l
+              /. float_of_int (Link_load.count load l + bonus l + 1)))
+          infinity links
+      in
+      Array.iter (fun l -> Hashtbl.replace extra l (bonus l + 1)) links;
+      total +. est)
+    0.0 sel
+
+(* --- fault reactions -------------------------------------------------- *)
+
+let on_down t ~now ~link =
+  let st = t.state in
+  Recovery.record_event st.recov ~action:Fault_plan.Down;
+  Array.iter
+    (fun f ->
+      if
+        Array.length f.sel > 0
+        && Array.exists
+             (fun i -> Fwd_path.contains_link t.config.paths.(f.pair).(i) link)
+             f.sel
+      then begin
+        Recovery.record_affected st.recov
+          ~pair:(Demand.pairs t.config.demand).(f.pair);
+        remove_sel t f;
+        let sel' = select_alive t f.pair in
+        if Array.length sel' = 0 then begin
+          f.sel <- [||];
+          Recovery.open_blackout st.recov ~now ~pair:(f.id, 0)
+        end
+        else begin
+          f.sel <- sel';
+          add_sel t f;
+          f.switches <- f.switches + 1;
+          st.switches_total <- st.switches_total + 1;
+          (* Recovery delay: the failure notification travelling the
+             replacement path back to the source. *)
+          let lat =
+            Strategy.path_latency t.ctx t.config.paths.(f.pair).(sel'.(0))
+          in
+          Recovery.record_failover st.recov ~recovery_s:(lat /. 1000.0)
+        end
+      end)
+    st.active
+
+let on_up t ~now ~link:_ =
+  let st = t.state in
+  Recovery.record_event st.recov ~action:Fault_plan.Up;
+  Array.iter
+    (fun f ->
+      if Array.length f.sel = 0 then begin
+        let sel' = select_alive t f.pair in
+        if Array.length sel' > 0 then begin
+          f.sel <- sel';
+          add_sel t f;
+          Recovery.close_blackout st.recov ~now ~pair:(f.id, 0)
+        end
+      end)
+    st.active
+
+(* --- one slot --------------------------------------------------------- *)
+
+let reconsider t f =
+  if Array.length f.sel > 0 then begin
+    let st = t.state in
+    remove_sel t f;
+    let cand = select_alive t f.pair in
+    (if Array.length cand > 0 && cand <> f.sel then begin
+       let cur = selection_estimate t f.pair f.sel in
+       let better = selection_estimate t f.pair cand in
+       if better > t.config.adapt_margin *. cur then begin
+         f.sel <- cand;
+         f.switches <- f.switches + 1;
+         st.switches_total <- st.switches_total + 1
+       end
+     end);
+    add_sel t f
+  end
+
+let admit t ~t1 =
+  let st = t.state in
+  let n = Array.length t.arrivals in
+  let acc = ref [] in
+  while
+    st.next_arrival < n && t.arrivals.(st.next_arrival).Demand.arrival_s < t1
+  do
+    let spec = t.arrivals.(st.next_arrival) in
+    let id = st.next_arrival in
+    st.next_arrival <- st.next_arrival + 1;
+    if Array.length t.config.paths.(spec.Demand.pair) = 0 then
+      (* The control plane produced nothing for this pair: the flow is
+         unservable, not faulted. *)
+      st.rejected <- st.rejected + 1
+    else begin
+      t.admitted_c := !(t.admitted_c) +. 1.0;
+      let f =
+        {
+          id;
+          pair = spec.Demand.pair;
+          arrival_s = spec.Demand.arrival_s;
+          remaining = spec.Demand.size_mbit;
+          sel = [||];
+          switches = 0;
+        }
+      in
+      let offered = t.config.paths.(f.pair) in
+      let sel = select_alive t f.pair in
+      if Array.length sel = 0 then begin
+        Recovery.record_affected t.state.recov
+          ~pair:(Demand.pairs t.config.demand).(f.pair);
+        Recovery.open_blackout t.state.recov ~now:f.arrival_s ~pair:(f.id, 0)
+      end
+      else begin
+        (* The endpoint holds the full (stale) path set: if its
+           preferred selection would touch a dead link, it learns so
+           from the SCMP on first use and fails over — the admission
+           analogue of {!on_down} for flows born inside an outage. *)
+        (if not (Array.for_all (path_alive t) offered) then begin
+           let pref =
+             Strategy.select t.config.strategy t.ctx ~width:t.config.width
+               offered
+           in
+           if
+             Array.exists (fun i -> not (path_alive t offered.(i))) pref
+           then begin
+             Recovery.record_affected st.recov
+               ~pair:(Demand.pairs t.config.demand).(f.pair);
+             let lat = Strategy.path_latency t.ctx offered.(sel.(0)) in
+             Recovery.record_failover st.recov ~recovery_s:(lat /. 1000.0);
+             f.switches <- f.switches + 1;
+             st.switches_total <- st.switches_total + 1
+           end
+         end);
+        f.sel <- sel;
+        add_sel t f
+      end;
+      acc := f :: !acc
+    end
+  done;
+  if !acc <> [] then
+    st.active <- Array.append st.active (Array.of_list (List.rev !acc))
+
+let deliver t f shares dur =
+  Array.iteri
+    (fun j i ->
+      let r = shares.(j) in
+      Array.iter
+        (fun l -> t.state.delivered.(l) <- t.state.delivered.(l) +. (r *. dur))
+        (links_of t f.pair i))
+    f.sel
+
+let progress t ~t0 ~t1 =
+  let st = t.state in
+  if Array.length st.active > 0 then begin
+    (* Rates snapshot first: completions release capacity only at the
+       next slot, so a flow's rate cannot depend on its position in
+       the active array. *)
+    let shares =
+      Array.map
+        (fun f ->
+          Array.map (fun i -> Link_load.fair_share st.load (links_of t f.pair i)) f.sel)
+        st.active
+    in
+    let keep = ref [] in
+    Array.iteri
+      (fun k f ->
+        let sh = shares.(k) in
+        let rate = Array.fold_left ( +. ) 0.0 sh in
+        if rate <= 0.0 then keep := f :: !keep
+        else begin
+          let start = Float.max t0 f.arrival_s in
+          let dt = t1 -. start in
+          if rate *. dt >= f.remaining then begin
+            let dur = f.remaining /. rate in
+            deliver t f sh dur;
+            let fct = start +. dur -. f.arrival_s in
+            Histogram.observe t.fct_h fct;
+            Histogram.observe t.switch_h (float_of_int f.switches);
+            t.completed_c := !(t.completed_c) +. 1.0;
+            st.completed <- st.completed + 1;
+            st.fct_sum <- st.fct_sum +. fct;
+            remove_sel t f;
+            f.sel <- [||]
+          end
+          else begin
+            deliver t f sh dt;
+            f.remaining <- f.remaining -. (rate *. dt);
+            keep := f :: !keep
+          end
+        end)
+      st.active;
+    st.active <- Array.of_list (List.rev !keep)
+  end
+
+let advance ?watchdog t ~upto =
+  let st = t.state in
+  let cfg = t.config in
+  if st.finished then invalid_arg "Traffic_sim.advance: already finished";
+  let upto = min upto cfg.slots in
+  if st.slot < upto then begin
+    let des = Des.create () in
+    (* Restore the virtual clock to the horizon the consumed events
+       already covered, then install only the unconsumed suffix. *)
+    if st.slot > 0 then
+      Des.run ~until:(float_of_int (st.slot - 1) *. cfg.slot_s) des;
+    let remaining =
+      Array.sub t.events st.cursor (Array.length t.events - st.cursor)
+    in
+    ignore
+      (Fault_driver.install
+         ~on_event:(fun () -> st.cursor <- st.cursor + 1)
+         ~des ~state:st.links ~on_down:(on_down t) ~on_up:(on_up t) remaining);
+    for s = st.slot to upto - 1 do
+      let t0 = float_of_int s *. cfg.slot_s in
+      let t1 = t0 +. cfg.slot_s in
+      Des.run ~until:t0 des;
+      if cfg.strategy = Strategy.Load_adaptive && cfg.adapt_margin > 1.0 then
+        Array.iter (reconsider t) st.active;
+      admit t ~t1;
+      progress t ~t0 ~t1;
+      st.slot <- s + 1;
+      (* Check the deadline only at slot boundaries: a timed-out job is
+         abandoned with consistent state. *)
+      match watchdog with Some w -> Watchdog.check w | None -> ()
+    done
+  end
+
+let finish t =
+  let st = t.state in
+  if not st.finished then begin
+    st.finished <- true;
+    let elapsed = float_of_int st.slot *. t.config.slot_s in
+    Recovery.finish st.recov ~now:elapsed;
+    if elapsed > 0.0 then
+      Array.iteri
+        (fun l d ->
+          if d > 0.0 then
+            Histogram.observe t.util_h
+              (d /. (Link_load.capacity_mbps st.load l *. elapsed)))
+        st.delivered
+  end
+
+(* --- snapshot --------------------------------------------------------- *)
+
+let encode t =
+  let st = t.state in
+  let w = Snapshot.writer () in
+  Snapshot.w_int w st.slot;
+  Snapshot.w_int w st.cursor;
+  Snapshot.w_int w st.next_arrival;
+  Snapshot.w_int w st.rejected;
+  Snapshot.w_int w st.completed;
+  Snapshot.w_f64 w st.fct_sum;
+  Snapshot.w_int w st.switches_total;
+  Snapshot.w_bool w st.finished;
+  Snapshot.w_arr w
+    (fun w f ->
+      Snapshot.w_int w f.id;
+      Snapshot.w_int w f.pair;
+      Snapshot.w_f64 w f.arrival_s;
+      Snapshot.w_f64 w f.remaining;
+      Snapshot.w_arr w Snapshot.w_int f.sel;
+      Snapshot.w_int w f.switches)
+    st.active;
+  Snapshot.w_link_state w (Link_state.dump st.links);
+  Snapshot.w_arr w Snapshot.w_f64 st.delivered;
+  Snapshot.w_recovery w (Recovery.dump st.recov);
+  Snapshot.w_registry w (Registry.dump st.metrics);
+  Snapshot.contents w
+
+let restore cfg data =
+  validate cfg;
+  let r = Snapshot.reader data in
+  let slot = Snapshot.r_int r in
+  let cursor = Snapshot.r_int r in
+  let next_arrival = Snapshot.r_int r in
+  let rejected = Snapshot.r_int r in
+  let completed = Snapshot.r_int r in
+  let fct_sum = Snapshot.r_f64 r in
+  let switches_total = Snapshot.r_int r in
+  let finished = Snapshot.r_bool r in
+  let active =
+    Snapshot.r_arr r (fun r ->
+        let id = Snapshot.r_int r in
+        let pair = Snapshot.r_int r in
+        let arrival_s = Snapshot.r_f64 r in
+        let remaining = Snapshot.r_f64 r in
+        let sel = Snapshot.r_arr r Snapshot.r_int in
+        let switches = Snapshot.r_int r in
+        { id; pair; arrival_s; remaining; sel; switches })
+  in
+  let links = Link_state.of_dump (Snapshot.r_link_state r) in
+  let delivered = Snapshot.r_arr r Snapshot.r_f64 in
+  let recov = Recovery.of_dump (Snapshot.r_recovery r) in
+  let metrics = Registry.of_dump (Snapshot.r_registry r) in
+  Snapshot.r_end r;
+  let corrupt msg = raise (Snapshot.Corrupt ("traffic snapshot: " ^ msg)) in
+  let n_pairs = Array.length (Demand.pairs cfg.demand) in
+  if Link_state.n_links links <> Graph.num_links cfg.graph then
+    corrupt "link count / graph mismatch";
+  if Array.length delivered <> Graph.num_links cfg.graph then
+    corrupt "delivered array / graph mismatch";
+  if slot < 0 || slot > cfg.slots then corrupt "slot out of range";
+  if next_arrival < 0 || next_arrival > (Demand.params cfg.demand).Demand.flows
+  then corrupt "arrival cursor out of range";
+  let load = Link_load.create ~capacity_scale:cfg.capacity_scale cfg.graph in
+  Array.iter
+    (fun f ->
+      if f.pair < 0 || f.pair >= n_pairs then corrupt "flow pair out of range";
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= Array.length cfg.paths.(f.pair) then
+            corrupt "flow path index out of range")
+        f.sel;
+      (* Link loads are derived state: replay the active selections. *)
+      Array.iter
+        (fun i -> Link_load.add_path load cfg.paths.(f.pair).(i).Fwd_path.links)
+        f.sel)
+    active;
+  let state =
+    {
+      slot;
+      cursor;
+      next_arrival;
+      rejected;
+      active;
+      links;
+      load;
+      delivered;
+      recov;
+      metrics;
+      completed;
+      fct_sum;
+      switches_total;
+      finished;
+    }
+  in
+  let t = make state cfg in
+  if cursor < 0 || cursor > Array.length t.events then
+    corrupt "fault cursor out of range";
+  t
+
+let config_key cfg =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "graph:%d/%d;" (Graph.n cfg.graph) (Graph.num_links cfg.graph);
+  for l = 0 to Graph.num_links cfg.graph - 1 do
+    let lk = Graph.link cfg.graph l in
+    add "%d-%d/%h;" lk.Graph.a lk.Graph.b cfg.latency_ms.(l)
+  done;
+  Array.iter
+    (fun offered ->
+      add "pair:";
+      Array.iter (fun p -> add "%s;" (Fwd_path.key p)) offered)
+    cfg.paths;
+  add "demand:%s;" (Demand.config_key cfg.demand);
+  add "strategy:%s/%d/%h;" (Strategy.name cfg.strategy) cfg.width
+    cfg.adapt_margin;
+  add "knobs:%h/%h/%d;" cfg.capacity_scale cfg.slot_s cfg.slots;
+  add "plan:%Ld;" cfg.plan.Fault_plan.seed;
+  Array.iter
+    (fun (e : Fault_plan.event) ->
+      add "%h/%d/%s;" e.Fault_plan.time e.Fault_plan.link
+        (match e.Fault_plan.action with
+        | Fault_plan.Down -> "d"
+        | Fault_plan.Up -> "u"))
+    (Fault_plan.compile ~graph:cfg.graph cfg.plan);
+  List.iter (fun (k, v) -> add "label:%s=%s;" k v) cfg.metric_labels;
+  Sha256.hex (Sha256.digest (Buffer.contents b))
+
+(* --- report ----------------------------------------------------------- *)
+
+type report = {
+  slots_done : int;
+  flows_admitted : int;
+  flows_rejected : int;
+  flows_completed : int;
+  flows_unfinished : int;
+  mean_fct_s : float;
+  fct : Histogram.summary;
+  path_switches : int;
+  delivered_mbit : float;
+  mean_utilization : float;
+  max_utilization : float;
+  recovery : Recovery.summary;
+}
+
+let report t =
+  let st = t.state in
+  let elapsed = float_of_int st.slot *. t.config.slot_s in
+  let used = ref 0 and util_sum = ref 0.0 and util_max = ref 0.0 in
+  if elapsed > 0.0 then
+    Array.iteri
+      (fun l d ->
+        if d > 0.0 then begin
+          let u = d /. (Link_load.capacity_mbps st.load l *. elapsed) in
+          incr used;
+          util_sum := !util_sum +. u;
+          if u > !util_max then util_max := u
+        end)
+      st.delivered;
+  {
+    slots_done = st.slot;
+    flows_admitted = st.next_arrival - st.rejected;
+    flows_rejected = st.rejected;
+    flows_completed = st.completed;
+    flows_unfinished = Array.length st.active;
+    mean_fct_s =
+      (if st.completed = 0 then Float.nan
+       else st.fct_sum /. float_of_int st.completed);
+    fct = Histogram.summarize t.fct_h;
+    path_switches = st.switches_total;
+    delivered_mbit = Array.fold_left ( +. ) 0.0 st.delivered;
+    mean_utilization =
+      (if !used = 0 then 0.0 else !util_sum /. float_of_int !used);
+    max_utilization = !util_max;
+    recovery = Recovery.summary st.recov;
+  }

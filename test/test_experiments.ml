@@ -137,8 +137,8 @@ let test_table1_measure () =
     ((get "Endpoint Path Lookup").Table1.messages > 0.0)
 
 let test_scenarios_registry () =
-  check Alcotest.int "nine scenarios" 9 (List.length Scenarios.all);
-  check Alcotest.int "distinct names" 9
+  check Alcotest.int "ten scenarios" 10 (List.length Scenarios.all);
+  check Alcotest.int "distinct names" 10
     (List.length (List.sort_uniq compare Scenarios.names));
   List.iter
     (fun n ->
@@ -159,6 +159,9 @@ let test_scenarios_registry () =
              Scenario.scale = Exp_common.Tiny;
              seed = None;
              sup = Supervise.default_cli;
+             flows = None;
+             strategy = None;
+             capacity_scale = None;
            });
       Alcotest.(check bool) (S.name ^ " has doc") true (String.length S.doc > 0))
     Scenarios.all

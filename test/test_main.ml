@@ -20,6 +20,7 @@ let () =
       ("faults", Test_faults.suite);
       ("supervise", Test_supervise.suite);
       ("dataplane", Test_dataplane.suite);
+      ("traffic", Test_traffic.suite);
       ("deployment", Test_deployment.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -1,0 +1,481 @@
+(* Tests for scion_traffic: capacity model, path-selection strategy
+   invariants, demand purity, the checkpointable flow simulation
+   (chunked advance vs direct, fault composition, recovery dump
+   round-trip) and the swarm multipath comparison. *)
+
+let check = Alcotest.check
+
+(* --- fixtures ---------------------------------------------------------- *)
+
+(* A forwarding path is identified by its link sequence only, which is
+   all the traffic engine consumes. *)
+let fpath links =
+  {
+    Fwd_path.crossings = [||];
+    links = Array.of_list links;
+    combination = Fwd_path.Core_only;
+  }
+
+(* Same two-ISD network as the dataplane tests: 2 core ASes joined by
+   two parallel core links, two customer chains below. *)
+let network () =
+  let b = Graph.builder () in
+  let c0 = Graph.add_as b ~core:true (Id.ia 1 1) in
+  let c1 = Graph.add_as b ~core:true (Id.ia 2 1) in
+  let a2 = Graph.add_as b (Id.ia 1 2) in
+  let a3 = Graph.add_as b (Id.ia 1 3) in
+  let a4 = Graph.add_as b (Id.ia 1 4) in
+  let a5 = Graph.add_as b (Id.ia 2 2) in
+  Graph.add_link b ~count:2 ~rel:Graph.Core c0 c1;
+  Graph.add_link b ~rel:Graph.Provider_customer c0 a2;
+  Graph.add_link b ~rel:Graph.Provider_customer c0 a3;
+  Graph.add_link b ~rel:Graph.Provider_customer a2 a4;
+  Graph.add_link b ~rel:Graph.Peering a2 a3;
+  Graph.add_link b ~rel:Graph.Provider_customer c1 a5;
+  Graph.freeze b
+
+let beacon_cfg scope =
+  {
+    Beaconing.default_config with
+    Beaconing.scope;
+    Beaconing.duration = 600.0 *. 8.0;
+    Beaconing.lifetime = 600.0 *. 12.0;
+  }
+
+let env =
+  lazy
+    (let g = network () in
+     let core = Beaconing.run g (beacon_cfg Beaconing.Core_beaconing) in
+     let intra = Beaconing.run g (beacon_cfg Beaconing.Intra_isd) in
+     let cs = Control_service.build ~core ~intra () in
+     (g, cs))
+
+let resolve_paths cs demand =
+  Array.map
+    (fun (src, dst) ->
+      let seen = Hashtbl.create 8 in
+      Control_service.resolve cs ~src ~dst
+      |> List.filter (fun p ->
+             let k = Fwd_path.key p in
+             if Hashtbl.mem seen k then false
+             else begin
+               Hashtbl.add seen k ();
+               true
+             end)
+      |> Array.of_list)
+    (Demand.pairs demand)
+
+(* --- Link_load --------------------------------------------------------- *)
+
+let test_link_load_capacities () =
+  let g = network () in
+  let ll = Link_load.create g in
+  check Alcotest.int "sized to the graph" (Graph.num_links g)
+    (Link_load.n_links ll);
+  for l = 0 to Link_load.n_links ll - 1 do
+    Alcotest.(check bool) "positive capacity" true (Link_load.capacity_mbps ll l > 0.0)
+  done;
+  (* Core trunks are fatter than customer access links. *)
+  let core_cap = Link_load.capacity_mbps ll 0 in
+  let stub_cap = Link_load.capacity_mbps ll 4 in
+  Alcotest.(check bool) "core > stub" true (core_cap > stub_cap);
+  let half = Link_load.create ~capacity_scale:0.5 g in
+  Alcotest.(check (float 1e-9)) "scale multiplies"
+    (0.5 *. core_cap)
+    (Link_load.capacity_mbps half 0);
+  Alcotest.check_raises "scale must be positive"
+    (Invalid_argument "Link_load.create: capacity_scale <= 0")
+    (fun () -> ignore (Link_load.create ~capacity_scale:0.0 g))
+
+let test_link_load_fair_share () =
+  let g = network () in
+  let ll = Link_load.create g in
+  let path = [| 0; 2 |] in
+  check (Alcotest.float 1e-9) "idle admission is thinnest capacity"
+    (Float.min (Link_load.capacity_mbps ll 0) (Link_load.capacity_mbps ll 2))
+    (Link_load.admission_estimate ll path);
+  Link_load.add_path ll path;
+  Link_load.add_path ll path;
+  check Alcotest.int "both subflows counted" 2 (Link_load.count ll 0);
+  let thin = Float.min (Link_load.capacity_mbps ll 0) (Link_load.capacity_mbps ll 2) in
+  check (Alcotest.float 1e-9) "fair share splits the bottleneck" (thin /. 2.0)
+    (Link_load.fair_share ll path);
+  check (Alcotest.float 1e-9) "admission sees one more" (thin /. 3.0)
+    (Link_load.admission_estimate ll path);
+  Alcotest.(check bool) "bottleneck on the path" true
+    (Array.exists (fun l -> l = Link_load.bottleneck ll path) path);
+  Link_load.remove_path ll path;
+  Link_load.remove_path ll path;
+  check Alcotest.int "released" 0 (Link_load.count ll 0);
+  Alcotest.check_raises "underflow detected"
+    (Invalid_argument "Link_load.remove_path: count underflow")
+    (fun () -> Link_load.remove_path ll path);
+  check (Alcotest.float 1e-9) "empty path share" infinity
+    (Link_load.fair_share ll [||]);
+  check Alcotest.int "empty path bottleneck" (-1) (Link_load.bottleneck ll [||])
+
+(* --- Strategy ---------------------------------------------------------- *)
+
+(* Two-link world: path 0 rides link 0 (fast), path 1 rides link 1
+   (slow), path 2 rides both. *)
+let tiny_ctx () =
+  let g = network () in
+  let load = Link_load.create g in
+  let latency_ms = Array.init (Graph.num_links g) (fun l -> 5.0 +. float_of_int l) in
+  { Strategy.latency_ms; load }
+
+let offered_fixture = [| fpath [ 0 ]; fpath [ 1 ]; fpath [ 0; 1 ] |]
+
+let test_strategy_contract () =
+  let ctx = tiny_ctx () in
+  List.iter
+    (fun s ->
+      check Alcotest.int "empty offer, empty selection" 0
+        (Array.length (Strategy.select s ctx ~width:2 [||]));
+      Alcotest.check_raises "width must be positive"
+        (Invalid_argument "Strategy.select: width < 1") (fun () ->
+          ignore (Strategy.select s ctx ~width:0 offered_fixture));
+      List.iter
+        (fun width ->
+          let sel = Strategy.select s ctx ~width offered_fixture in
+          Alcotest.(check bool) "at least one path" true (Array.length sel >= 1);
+          Alcotest.(check bool) "at most width" true (Array.length sel <= width);
+          Array.iter
+            (fun i ->
+              Alcotest.(check bool) "index into offered" true
+                (i >= 0 && i < Array.length offered_fixture))
+            sel;
+          check Alcotest.int "distinct indices"
+            (Array.length sel)
+            (List.length (List.sort_uniq compare (Array.to_list sel)));
+          Alcotest.(check bool) "deterministic" true
+            (sel = Strategy.select s ctx ~width offered_fixture))
+        [ 1; 2; 3; 5 ])
+    Strategy.all
+
+let test_strategy_latency_greedy () =
+  let ctx = tiny_ctx () in
+  let sel = Strategy.select Strategy.Latency_greedy ctx ~width:1 offered_fixture in
+  check Alcotest.int "fastest path first" 0 sel.(0);
+  let sel2 = Strategy.select Strategy.Latency_greedy ctx ~width:2 offered_fixture in
+  Alcotest.(check bool) "then next fastest" true (sel2 = [| 0; 1 |])
+
+let test_strategy_diversity () =
+  let ctx = tiny_ctx () in
+  let sel = Strategy.select Strategy.Diversity_max ctx ~width:2 offered_fixture in
+  (* Paths 0 and 1 are link-disjoint; path 2 overlaps both. *)
+  Alcotest.(check bool) "disjoint pair chosen" true
+    (List.sort compare (Array.to_list sel) = [ 0; 1 ])
+
+let test_strategy_load_adaptive_shifts () =
+  let ctx = tiny_ctx () in
+  let sel = Strategy.select Strategy.Load_adaptive ctx ~width:1 offered_fixture in
+  check Alcotest.int "idle: fattest estimate wins" 0 sel.(0);
+  (* Saturate link 0: the adaptive strategy must shift to link 1 while
+     the latency-greedy one keeps herding onto the saturated link. *)
+  for _ = 1 to 50 do
+    Link_load.add_path ctx.Strategy.load [| 0 |]
+  done;
+  let sel' = Strategy.select Strategy.Load_adaptive ctx ~width:1 offered_fixture in
+  check Alcotest.int "saturated: shifts to the idle link" 1 sel'.(0);
+  let greedy = Strategy.select Strategy.Latency_greedy ctx ~width:1 offered_fixture in
+  check Alcotest.int "greedy ignores load" 0 greedy.(0)
+
+let test_strategy_names () =
+  List.iter
+    (fun s ->
+      match Strategy.of_string (Strategy.name s) with
+      | Ok s' -> Alcotest.(check bool) "name round-trips" true (s = s')
+      | Error e -> Alcotest.fail e)
+    Strategy.all;
+  (match Strategy.of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus strategy accepted")
+
+(* --- Demand ------------------------------------------------------------ *)
+
+let small_demand g =
+  Demand.create g
+    {
+      Demand.default_params with
+      Demand.n_pairs = 8;
+      flows = 400;
+      horizon_s = 120.0;
+      seed = 42L;
+    }
+
+let test_demand_pure_and_sorted () =
+  let g, _ = Lazy.force env in
+  let d = small_demand g in
+  let d' = small_demand g in
+  check Alcotest.int "pair count" 8 (Array.length (Demand.pairs d));
+  Alcotest.(check bool) "pair sampling deterministic" true
+    (Demand.pairs d = Demand.pairs d');
+  Array.iter
+    (fun (s, t) ->
+      Alcotest.(check bool) "pair within graph" true
+        (s >= 0 && s < Graph.n g && t >= 0 && t < Graph.n g && s <> t))
+    (Demand.pairs d);
+  check Alcotest.int "distinct pairs" 8
+    (List.length (List.sort_uniq compare (Array.to_list (Demand.pairs d))));
+  (* flow i is a pure function of (seed, i), whatever else was asked. *)
+  let probe = Demand.flow d 123 in
+  ignore (Demand.sorted_flows d);
+  ignore (Demand.flow d 7);
+  Alcotest.(check bool) "flow attributes pure" true (probe = Demand.flow d 123);
+  Alcotest.(check bool) "same seed, same flows" true
+    (Demand.flow d 123 = Demand.flow d' 123);
+  let sorted = Demand.sorted_flows d in
+  check Alcotest.int "all flows sorted" 400 (Array.length sorted);
+  Array.iteri
+    (fun i (f : Demand.flow_spec) ->
+      if i > 0 then
+        Alcotest.(check bool) "sorted by arrival" true
+          (sorted.(i - 1).Demand.arrival_s <= f.Demand.arrival_s);
+      Alcotest.(check bool) "arrival in horizon" true
+        (f.Demand.arrival_s >= 0.0 && f.Demand.arrival_s < 120.0);
+      Alcotest.(check bool) "positive size" true (f.Demand.size_mbit > 0.0);
+      Alcotest.(check bool) "pair in range" true
+        (f.Demand.pair >= 0 && f.Demand.pair < 8))
+    sorted;
+  let other =
+    Demand.create g
+      { (Demand.params d) with Demand.seed = 43L }
+  in
+  Alcotest.(check bool) "seed changes the fingerprint" true
+    (Demand.config_key d <> Demand.config_key other);
+  Alcotest.(check bool) "fingerprint stable" true
+    (Demand.config_key d = Demand.config_key d')
+
+(* --- Recovery dump (shared with the resilience scenario) --------------- *)
+
+let test_recovery_dump_roundtrip () =
+  let r = Recovery.create () in
+  Recovery.record_event r ~action:Fault_plan.Down;
+  Recovery.record_affected r ~pair:(3, 1);
+  Recovery.record_affected r ~pair:(0, 2);
+  Recovery.record_affected r ~pair:(3, 1);
+  Recovery.record_failover r ~recovery_s:0.25;
+  Recovery.record_failover r ~recovery_s:0.75;
+  Recovery.open_blackout r ~now:10.0 ~pair:(5, 6);
+  Recovery.close_blackout r ~now:14.0 ~pair:(5, 6);
+  Recovery.open_blackout r ~now:20.0 ~pair:(7, 8);
+  Recovery.record_revocation r ~segments:4 ~msgs:9 ~bytes:512;
+  let d = Recovery.dump r in
+  check Alcotest.int "affected deduped" 2 (List.length d.Recovery.d_affected);
+  Alcotest.(check bool) "affected sorted" true
+    (d.Recovery.d_affected = List.sort compare d.Recovery.d_affected);
+  check Alcotest.int "open window carried" 1 (List.length d.Recovery.d_open);
+  Alcotest.(check bool) "dump round-trips" true
+    (Recovery.dump (Recovery.of_dump d) = d);
+  (* The restored copy keeps accounting live: the open window closes. *)
+  let r' = Recovery.of_dump d in
+  Recovery.close_blackout r' ~now:26.0 ~pair:(7, 8);
+  let s = Recovery.summary r' in
+  check Alcotest.int "failovers preserved" 2 s.Recovery.failovers;
+  check Alcotest.int "blackouts counted" 2 s.Recovery.blackouts;
+  check (Alcotest.float 1e-9) "blackout time summed" 10.0
+    s.Recovery.blackout_time_s
+
+(* --- Traffic_sim ------------------------------------------------------- *)
+
+let sim_config ?(strategy = Strategy.Latency_greedy) ?(width = 1) ?(plan = [])
+    () =
+  let g, cs = Lazy.force env in
+  let demand = small_demand g in
+  let paths = resolve_paths cs demand in
+  let latency_ms = Geo.latency_table g in
+  {
+    Traffic_sim.graph = g;
+    paths;
+    latency_ms;
+    demand;
+    strategy;
+    width;
+    plan = Fault_plan.plan ~seed:5L plan;
+    capacity_scale = 0.001;
+    slot_s = 1.0;
+    slots = 200;
+    adapt_margin = (if strategy = Strategy.Load_adaptive then 1.25 else 0.0);
+    metric_labels = [ ("workload", "test") ];
+  }
+
+let outage_events () =
+  (* Fail one link of the most popular pair's first offered path
+     mid-run, long enough to hit many admissions. *)
+  let cfg = sim_config () in
+  let link =
+    let p = cfg.Traffic_sim.paths.(0).(0) in
+    p.Fwd_path.links.(0)
+  in
+  [ Fault_plan.Link_down { link; at = 40.0; duration = 40.0 } ]
+
+let run_to_end cfg =
+  let t = Traffic_sim.create cfg in
+  Traffic_sim.advance t ~upto:(Traffic_sim.slots_total t);
+  Traffic_sim.finish t;
+  t
+
+let test_sim_accounting () =
+  let cfg = sim_config () in
+  let t = run_to_end cfg in
+  let r = Traffic_sim.report t in
+  check Alcotest.int "every slot processed" 200 r.Traffic_sim.slots_done;
+  check Alcotest.int "arrivals partitioned" 400
+    (r.Traffic_sim.flows_admitted + r.Traffic_sim.flows_rejected);
+  check Alcotest.int "admitted partitioned" r.Traffic_sim.flows_admitted
+    (r.Traffic_sim.flows_completed + r.Traffic_sim.flows_unfinished);
+  Alcotest.(check bool) "flows completed" true (r.Traffic_sim.flows_completed > 0);
+  Alcotest.(check bool) "traffic delivered" true
+    (r.Traffic_sim.delivered_mbit > 0.0);
+  Alcotest.(check bool) "mean fct positive" true (r.Traffic_sim.mean_fct_s > 0.0);
+  Alcotest.(check bool) "utilization sane" true
+    (r.Traffic_sim.max_utilization >= r.Traffic_sim.mean_utilization
+    && r.Traffic_sim.mean_utilization > 0.0)
+
+let test_sim_chunked_equals_direct () =
+  let cfg = sim_config ~strategy:Strategy.Load_adaptive ~width:2
+      ~plan:(outage_events ()) ()
+  in
+  let direct = run_to_end cfg in
+  (* Chunked: advance 7 slots at a time, snapshotting and restoring
+     between every chunk — the checkpoint/resume path. *)
+  let state = ref (Traffic_sim.encode (Traffic_sim.create cfg)) in
+  let upto = ref 0 in
+  while !upto < 200 do
+    upto := min 200 (!upto + 7);
+    let t = Traffic_sim.restore cfg !state in
+    Traffic_sim.advance t ~upto:!upto;
+    state := Traffic_sim.encode t
+  done;
+  let chunked = Traffic_sim.restore cfg !state in
+  Traffic_sim.finish chunked;
+  let t_direct = Traffic_sim.report direct in
+  Alcotest.(check bool) "chunked run is byte-identical" true
+    (t_direct = Traffic_sim.report chunked);
+  Alcotest.(check bool) "registries agree" true
+    (Registry.dump (Traffic_sim.registry direct)
+    = Registry.dump (Traffic_sim.registry chunked))
+
+let test_sim_restore_rejects_corrupt () =
+  let cfg = sim_config () in
+  let t = Traffic_sim.create cfg in
+  Traffic_sim.advance t ~upto:50;
+  let s = Traffic_sim.encode t in
+  (match
+     Traffic_sim.restore cfg (String.sub s 0 (String.length s / 2))
+   with
+  | exception Snapshot.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated snapshot accepted");
+  let r = Traffic_sim.restore cfg s in
+  check Alcotest.int "clock restored" 50 (Traffic_sim.slot r)
+
+let test_sim_fault_composition () =
+  let cfg = sim_config ~plan:(outage_events ()) () in
+  let t = run_to_end cfg in
+  let s = (Traffic_sim.report t).Traffic_sim.recovery in
+  check Alcotest.int "down event seen" 1 s.Recovery.events_down;
+  check Alcotest.int "up event seen" 1 s.Recovery.events_up;
+  Alcotest.(check bool) "outage touched pairs" true (s.Recovery.affected_pairs > 0);
+  Alcotest.(check bool) "failovers recorded" true (s.Recovery.failovers > 0);
+  (* A fault-free run of the same config books nothing. *)
+  let calm = run_to_end (sim_config ()) in
+  let c = (Traffic_sim.report calm).Traffic_sim.recovery in
+  check Alcotest.int "calm: no failovers" 0 c.Recovery.failovers;
+  check Alcotest.int "calm: no blackouts" 0 c.Recovery.blackouts
+
+let test_sim_config_key_sensitivity () =
+  let a = sim_config () in
+  let b = sim_config ~strategy:Strategy.Diversity_max () in
+  Alcotest.(check bool) "same config, same key" true
+    (Traffic_sim.config_key a = Traffic_sim.config_key (sim_config ()));
+  Alcotest.(check bool) "strategy changes the key" true
+    (Traffic_sim.config_key a <> Traffic_sim.config_key b);
+  Alcotest.(check bool) "plan changes the key" true
+    (Traffic_sim.config_key a
+    <> Traffic_sim.config_key (sim_config ~plan:(outage_events ()) ()))
+
+(* --- Swarm ------------------------------------------------------------- *)
+
+let test_swarm_multipath_wins () =
+  let g, cs = Lazy.force env in
+  let p =
+    {
+      Swarm.transfers = 150;
+      n_pairs = 6;
+      file_mbit = 100.0;
+      width = 3;
+      horizon_s = 60.0;
+      drain_s = 300.0;
+      seed = 9L;
+    }
+  in
+  let demand = Swarm.demand g p in
+  let paths = resolve_paths cs demand in
+  let latency_ms = Geo.latency_table g in
+  let run mode =
+    let cfg =
+      Swarm.cell_config ~graph:g ~paths ~latency_ms ~demand
+        ~capacity_scale:0.01 ~slot_s:1.0 p mode
+    in
+    Traffic_sim.report (run_to_end cfg)
+  in
+  let single = run Swarm.Single_path in
+  let multi_diversity = run Swarm.Multi_diversity in
+  let multi_adaptive = run Swarm.Multi_adaptive in
+  let c = Swarm.compare ~single ~multi_diversity ~multi_adaptive in
+  Alcotest.(check bool) "everyone finished some transfers" true
+    (single.Traffic_sim.flows_completed > 0
+    && multi_diversity.Traffic_sim.flows_completed > 0);
+  Alcotest.(check bool) "multipath beats single-path FCT" true
+    (multi_diversity.Traffic_sim.mean_fct_s < single.Traffic_sim.mean_fct_s);
+  Alcotest.(check bool) "diversity speedup > 1" true
+    (c.Swarm.speedup_diversity > 1.0);
+  Alcotest.(check bool) "adaptive multipath also wins" true
+    (c.Swarm.speedup_adaptive > 1.0)
+
+(* --- The scenario: jobs-independence ----------------------------------- *)
+
+let test_scenario_jobs_independent () =
+  let cfg =
+    Traffic_exp.config ~seed:11L ~flows:300 ~swarm_transfers:80
+      Exp_common.Tiny
+  in
+  let a = Traffic_exp.run ~jobs:1 cfg in
+  let b = Traffic_exp.run ~jobs:2 cfg in
+  Alcotest.(check bool) "jobs=1 equals jobs=2" true
+    (Obs_json.to_string (Traffic_exp.to_json a)
+    = Obs_json.to_string (Traffic_exp.to_json b));
+  check Alcotest.int "clean exit" 0 (Traffic_exp.exit_code a);
+  (match a.Traffic_exp.swarm with
+  | None -> Alcotest.fail "swarm comparison missing"
+  | Some c ->
+      Alcotest.(check bool) "scenario swarm speedup > 1" true
+        (c.Swarm.speedup_diversity > 1.0));
+  Alcotest.(check bool) "outage produced failovers" true
+    (List.exists
+       (fun (cell : Traffic_exp.cell_result) ->
+         match cell.Traffic_exp.report with
+         | Some r -> r.Traffic_sim.recovery.Recovery.failovers > 0
+         | None -> false)
+       a.Traffic_exp.cells)
+
+let suite =
+  [
+    ("link-load capacities", `Quick, test_link_load_capacities);
+    ("link-load fair share", `Quick, test_link_load_fair_share);
+    ("strategy contract", `Quick, test_strategy_contract);
+    ("strategy latency-greedy", `Quick, test_strategy_latency_greedy);
+    ("strategy diversity", `Quick, test_strategy_diversity);
+    ("strategy load-adaptive shifts", `Quick, test_strategy_load_adaptive_shifts);
+    ("strategy names", `Quick, test_strategy_names);
+    ("demand pure and sorted", `Quick, test_demand_pure_and_sorted);
+    ("recovery dump round-trip", `Quick, test_recovery_dump_roundtrip);
+    ("sim accounting", `Quick, test_sim_accounting);
+    ("sim chunked equals direct", `Quick, test_sim_chunked_equals_direct);
+    ("sim restore rejects corrupt", `Quick, test_sim_restore_rejects_corrupt);
+    ("sim fault composition", `Quick, test_sim_fault_composition);
+    ("sim config-key sensitivity", `Quick, test_sim_config_key_sensitivity);
+    ("swarm multipath wins", `Slow, test_swarm_multipath_wins);
+    ("scenario jobs-independent", `Slow, test_scenario_jobs_independent);
+  ]

@@ -138,6 +138,36 @@ let test_zipf_invalid () =
   Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
     (fun () -> ignore (Zipf.create ~n:0 ~s:1.0))
 
+(* Distribution check: whatever the seed, the empirical rank
+   frequencies of a large sample track the rank-frequency law the
+   sampler claims to draw from. 20k draws put the standard error of a
+   rank-k frequency below ~0.4%, so a 2% absolute tolerance on the
+   heavy head and on the aggregated tail is a real test of the
+   inverse-CDF tables, not of the noise. *)
+let prop_zipf_matches_law =
+  QCheck.Test.make ~name:"zipf samples follow the rank-frequency law" ~count:20
+    QCheck.(map Int64.of_int int)
+    (fun seed ->
+      let n = 50 and s = 1.2 and draws = 20_000 in
+      let z = Zipf.create ~n ~s in
+      let rng = Rng.create seed in
+      let hits = Array.make n 0 in
+      for _ = 1 to draws do
+        let k = Zipf.sample z rng in
+        hits.(k) <- hits.(k) + 1
+      done;
+      let freq k = float_of_int hits.(k) /. float_of_int draws in
+      let head_ok = ref true in
+      for k = 0 to 9 do
+        if abs_float (freq k -. Zipf.weight z k) > 0.02 then head_ok := false
+      done;
+      let tail_freq = ref 0.0 and tail_weight = ref 0.0 in
+      for k = 10 to n - 1 do
+        tail_freq := !tail_freq +. freq k;
+        tail_weight := !tail_weight +. Zipf.weight z k
+      done;
+      !head_ok && abs_float (!tail_freq -. !tail_weight) < 0.02)
+
 (* --- Stats --- *)
 
 let feq msg a b = Alcotest.(check (float 1e-9)) msg a b
@@ -262,6 +292,7 @@ let suite =
     ("zipf sample bounds", `Quick, test_zipf_sample_bounds);
     ("zipf head heavy", `Quick, test_zipf_head_heavy);
     ("zipf invalid", `Quick, test_zipf_invalid);
+    QCheck_alcotest.to_alcotest prop_zipf_matches_law;
     ("stats mean", `Quick, test_stats_mean);
     ("stats mean empty", `Quick, test_stats_mean_empty);
     ("stats geometric mean", `Quick, test_stats_geometric_mean);
